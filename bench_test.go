@@ -1,0 +1,178 @@
+// Package cobra's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation. Each benchmark regenerates its
+// experiment at a reduced scale (so `go test -bench=.` terminates in
+// minutes) and reports the experiment's headline quantity as a custom
+// metric next to the usual ns/op. The full-scale regeneration is
+// `go run ./cmd/figures -all`.
+package cobra
+
+import (
+	"strconv"
+	"testing"
+
+	"cobra/internal/exp"
+	"cobra/internal/sim"
+	"cobra/internal/stats"
+)
+
+// benchOpts is the reduced scale used by the benchmark harness.
+func benchOpts() exp.Opts {
+	return exp.Opts{Scale: 14, Seed: 42, Arch: sim.DefaultArch()}
+}
+
+// geomeanColumn extracts a geomean from "N.NNx"-style cells in col.
+func geomeanColumn(t *exp.Table, col int) float64 {
+	var xs []float64
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		s := row[col]
+		if len(s) > 1 && s[len(s)-1] == 'x' {
+			if v, err := strconv.ParseFloat(s[:len(s)-1], 64); err == nil {
+				xs = append(xs, v)
+			}
+		}
+	}
+	return stats.GeoMean(xs)
+}
+
+func BenchmarkFig02_LLCMissRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04_BinSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05_IdealHeadroom(b *testing.B) {
+	var tab *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if tab, err = exp.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomeanColumn(tab, 3), "ideal-speedup-geomean")
+}
+
+func BenchmarkTable1_PhaseBreakup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Speedups(b *testing.B) {
+	var tab *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if tab, err = exp.Fig10(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomeanColumn(tab, 4), "cobra-speedup-geomean")
+}
+
+func BenchmarkFig11_PhaseSpeedups(b *testing.B) {
+	var tab *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if tab, err = exp.Fig11(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomeanColumn(tab, 2), "binning-speedup-geomean")
+}
+
+func BenchmarkFig12_InstrBranch(b *testing.B) {
+	var tab *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if tab, err = exp.Fig12(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(geomeanColumn(tab, 2), "instr-reduction-geomean")
+}
+
+func BenchmarkFig13a_EvictionBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig13a(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13b_WaySensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig13b(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13c_ContextSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig13c(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14_CommSpecialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig14(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15_Tiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig15(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPrefetcher(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLLCPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationLLCPolicy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPINVMediumBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPINV(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationMLP(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

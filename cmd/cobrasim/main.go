@@ -1,0 +1,87 @@
+// Command cobrasim runs one workload through one or more execution
+// schemes on the simulated machine and reports the paper's metrics
+// (cycles, phase split, instruction counts, branch misses, cache
+// misses, DRAM traffic).
+//
+// Usage:
+//
+//	cobrasim -app DegreeCount -input URND -scale 18 -schemes Baseline,PB-SW,COBRA
+//	cobrasim -app NeighborPopulate -input KRON -bins 512
+//	cobrasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cobra/internal/exp"
+	"cobra/internal/mem"
+	"cobra/internal/sim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "DegreeCount", "workload: "+strings.Join(exp.AppNames(), ", "))
+		input   = flag.String("input", "URND", "input: "+strings.Join(exp.InputNames(), ", "))
+		scale   = flag.Int("scale", 18, "input scale (vertices/keys ~ 2^scale)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		bins    = flag.Int("bins", 0, "PB-SW bin count (0 = sweep for best)")
+		schemes = flag.String("schemes", "Baseline,PB-SW,COBRA", "comma-separated schemes")
+		nuca    = flag.Bool("nuca", false, "model Table II's 4x4-mesh NUCA latency for the shared LLC")
+		list    = flag.Bool("list", false, "list workloads and inputs, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(exp.AppNames(), ", "))
+		fmt.Println("inputs:   ", strings.Join(exp.InputNames(), ", "))
+		fmt.Println("schemes:  ", "Baseline, PB-SW, PB-SW-IDEAL, COBRA, COBRA-COMM, PHI")
+		return
+	}
+
+	app, err := exp.BuildApp(*appName, *input, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cobrasim:", err)
+		os.Exit(1)
+	}
+	arch := sim.DefaultArch()
+	if *nuca {
+		arch.Mem.NUCA = mem.DefaultNUCA()
+	}
+	fmt.Printf("%s on %s: %d keys, %d updates, %d B tuples, commutative=%v\n\n",
+		app.Name, app.InputName, app.NumKeys, app.NumUpdates, app.TupleBytes, app.Commutative)
+
+	var results []sim.Metrics
+	var base *sim.Metrics
+	for _, s := range strings.Split(*schemes, ",") {
+		m, err := exp.RunScheme(app, sim.Scheme(strings.TrimSpace(s)), *bins, arch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cobrasim: %s: %v\n", s, err)
+			continue
+		}
+		results = append(results, m)
+		if m.Scheme == sim.SchemeBaseline {
+			base = &results[len(results)-1]
+		}
+	}
+
+	fmt.Printf("%-12s %12s %10s %12s %12s %12s %8s %9s %8s\n",
+		"scheme", "cycles", "speedup", "init", "binning", "accumulate", "bins", "instr", "brMiss%")
+	for _, m := range results {
+		speedup := "-"
+		if base != nil && m.Cycles > 0 {
+			speedup = fmt.Sprintf("%.2fx", base.Cycles/m.Cycles)
+		}
+		fmt.Printf("%-12s %12.3e %10s %12.3e %12.3e %12.3e %8d %9.2e %8.2f\n",
+			m.Scheme, m.Cycles, speedup, m.InitCycles, m.BinCycles, m.AccumCycles,
+			m.NumBins, float64(m.Ctr.Instructions), 100*m.Ctr.BranchMissRate())
+	}
+	fmt.Println()
+	for _, m := range results {
+		fmt.Printf("%-12s L1miss=%9d L2miss=%9d LLCmiss=%9d LLCmissRate=%.3f DRAM rd/wr lines=%d/%d\n",
+			m.Scheme, m.L1Misses, m.L2Misses, m.LLCMisses, m.LLCMissRate,
+			m.DRAM.ReadLines, m.DRAM.WriteLines)
+	}
+}

@@ -1,0 +1,105 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated machine (and, for Figure 15, on the host).
+//
+// Usage:
+//
+//	figures -all              # everything at the default scale
+//	figures -fig 10           # one figure
+//	figures -fig 13a -quick   # fast smoke run
+//	figures -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cobra/internal/exp"
+)
+
+type figureFn func(exp.Opts) (*exp.Table, error)
+
+var figures = map[string]figureFn{
+	"2":   exp.Fig2,
+	"4":   exp.Fig4,
+	"5":   exp.Fig5,
+	"t1":  exp.Table1,
+	"10":  exp.Fig10,
+	"11":  exp.Fig11,
+	"12":  exp.Fig12,
+	"13a": exp.Fig13a,
+	"13b": exp.Fig13b,
+	"13c": exp.Fig13c,
+	"14":  exp.Fig14,
+	"15":  exp.Fig15,
+	"a1":  exp.AblationPrefetcher,
+	"a2":  exp.AblationLLCPolicy,
+	"a3":  exp.AblationPINV,
+	"a4":  exp.AblationMLP,
+	"a5":  exp.AblationNoPartition,
+	"a6":  exp.AblationNUCA,
+}
+
+// order fixes the presentation sequence for -all.
+var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "a1", "a2", "a3", "a4", "a5", "a6"}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a4)")
+		all   = flag.Bool("all", false, "regenerate every figure")
+		quick = flag.Bool("quick", false, "small-scale smoke run")
+		scale = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		list  = flag.Bool("list", false, "list figures, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		keys := make([]string, 0, len(figures))
+		for k := range figures {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("figures:", keys)
+		return
+	}
+
+	opts := exp.DefaultOpts()
+	if *quick {
+		opts = exp.QuickOpts()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	opts.Seed = *seed
+
+	run := func(name string) {
+		fn, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", name)
+			os.Exit(1)
+		}
+		start := time.Now()
+		t, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("regenerated in %v at scale %d", time.Since(start).Round(time.Millisecond), opts.Scale))
+		t.Fprint(os.Stdout)
+	}
+
+	switch {
+	case *all:
+		for _, name := range order {
+			run(name)
+		}
+	case *fig != "":
+		run(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"testing"
+
+	"cobra/internal/stats"
+)
+
+func benchCache(p PolicyKind) *Cache {
+	return New(Config{Name: "B", SizeB: 32 << 10, Ways: 8, Policy: p})
+}
+
+func benchAddrs(n int) []uint64 {
+	r := stats.NewRand(1)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 24)
+	}
+	return addrs
+}
+
+func BenchmarkAccessBitPLRU(b *testing.B) {
+	c := benchCache(BitPLRU)
+	addrs := benchAddrs(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<16-1)], i&3 == 0)
+	}
+}
+
+func BenchmarkAccessDRRIP(b *testing.B) {
+	c := New(Config{Name: "B", SizeB: 2 << 20, Ways: 16, Policy: DRRIP})
+	addrs := benchAddrs(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<16-1)], false)
+	}
+}
+
+func BenchmarkAccessSequential(b *testing.B) {
+	c := benchCache(BitPLRU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*8, false)
+	}
+}

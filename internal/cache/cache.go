@@ -1,0 +1,299 @@
+// Package cache models a single level of a set-associative cache with
+// pluggable replacement policies and Intel-CAT-style way partitioning.
+//
+// The model is trace-driven and functional-only at this layer: callers
+// feed byte addresses through Access and read hit/miss/writeback counts
+// back. Timing is the concern of package cpu and package mem, which
+// compose levels into a hierarchy.
+package cache
+
+import (
+	"fmt"
+
+	"cobra/internal/stats"
+)
+
+// LineSize is the cache line size in bytes used throughout the
+// simulated machine (Table II in the paper assumes 64 B lines).
+const LineSize = 64
+
+// LineBits is log2(LineSize).
+const LineBits = 6
+
+// Stats aggregates access outcomes for one cache level.
+type Stats struct {
+	Hits       uint64 // accesses that found the line
+	Misses     uint64 // accesses that had to fill
+	Evictions  uint64 // valid lines displaced by fills
+	Writebacks uint64 // dirty lines displaced by fills
+	Fills      uint64 // lines installed (== Misses unless bypassed)
+}
+
+// Accesses returns total accesses observed.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s *Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Config describes one cache level's geometry.
+type Config struct {
+	Name   string // for error messages and reports ("L1", "L2", "LLC")
+	SizeB  int    // total capacity in bytes
+	Ways   int    // associativity
+	Policy PolicyKind
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeB / (c.Ways * LineSize) }
+
+// Lines returns the total number of lines.
+func (c Config) Lines() int { return c.SizeB / LineSize }
+
+// Cache is one set-associative cache level.
+//
+// Way partitioning: ReserveWays(k) removes the first k ways of every set
+// from normal allocation, modeling Intel CAT reserving those ways for
+// pinned data (COBRA's C-Buffers). Reserved ways are never probed or
+// filled by Access; the pinned structures that live there are modeled by
+// their owners (package core).
+type Cache struct {
+	cfg      Config
+	sets     int
+	setMask  uint64
+	setBits  uint
+	ways     int
+	reserved int // ways [0, reserved) are withheld from normal use
+
+	// Flat arrays indexed by set*ways+way.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+
+	repl replacer
+
+	Stats Stats
+}
+
+// New constructs a cache level. It panics on a malformed geometry since
+// configs are compile-time constants of the simulated machine.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || !stats.IsPow2(uint64(sets)) {
+		panic(fmt.Sprintf("cache %s: set count %d must be a positive power of two (size=%d ways=%d)",
+			cfg.Name, sets, cfg.SizeB, cfg.Ways))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", cfg.Name))
+	}
+	n := sets * cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		setBits: stats.Log2Ceil(uint64(sets)),
+		ways:    cfg.Ways,
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		dirty:   make([]bool, n),
+	}
+	c.repl = newReplacer(cfg.Policy, sets, cfg.Ways)
+	return c
+}
+
+// Config returns the geometry this level was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// UsableWays returns the ways available for normal allocation.
+func (c *Cache) UsableWays() int { return c.ways - c.reserved }
+
+// ReserveWays withholds the first k ways of every set from normal
+// allocation and invalidates any resident lines in them (their contents
+// conceptually belong to the pinned owner now). k must leave at least
+// one usable way.
+func (c *Cache) ReserveWays(k int) error {
+	if k < 0 || k >= c.ways {
+		return fmt.Errorf("cache %s: cannot reserve %d of %d ways (at least one must remain)", c.cfg.Name, k, c.ways)
+	}
+	c.reserved = k
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < k; w++ {
+			i := s*c.ways + w
+			c.valid[i] = false
+			c.dirty[i] = false
+		}
+	}
+	return nil
+}
+
+// ReservedWays returns the current reservation.
+func (c *Cache) ReservedWays() int { return c.reserved }
+
+// ReservedBytes returns the capacity withheld by the reservation.
+func (c *Cache) ReservedBytes() int { return c.reserved * c.sets * LineSize }
+
+func (c *Cache) setIndex(addr uint64) int { return int((addr >> LineBits) & c.setMask) }
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> (LineBits + c.setBits) }
+
+// Result reports what one access did.
+type Result struct {
+	Hit           bool
+	Evicted       bool   // a valid line was displaced
+	WroteBack     bool   // the displaced line was dirty
+	VictimAddr    uint64 // line-aligned address of the displaced line (valid when Evicted)
+	VictimWasMRU  bool   // diagnostic: victim was the most recently touched usable line
+	BypassedAlloc bool   // access was a non-allocating write (non-temporal store)
+}
+
+// Access performs a demand load or store of addr. Misses allocate
+// (write-allocate, writeback). It returns what happened so hierarchies
+// can propagate fills and writebacks.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	return c.access(addr, write, false)
+}
+
+// Prefetch installs addr's line if absent without counting a demand
+// miss. Used by the L2 stream prefetcher. Returns true if the line was
+// already present.
+func (c *Cache) Prefetch(addr uint64) bool {
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	if w := c.find(set, tag); w >= 0 {
+		return true
+	}
+	c.fill(set, tag, false)
+	return false
+}
+
+// Probe reports whether addr's line is resident, without side effects.
+func (c *Cache) Probe(addr uint64) bool {
+	return c.find(c.setIndex(addr), c.tagOf(addr)) >= 0
+}
+
+// WriteNT models a non-temporal (streaming) store: if the line is
+// resident it is updated in place (and marked dirty); otherwise the
+// store bypasses the cache entirely (write-combining to memory) and no
+// allocation happens.
+func (c *Cache) WriteNT(addr uint64) Result {
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	if w := c.find(set, tag); w >= 0 {
+		i := set*c.ways + w
+		c.dirty[i] = true
+		c.repl.onHit(set, w)
+		c.Stats.Hits++
+		return Result{Hit: true}
+	}
+	return Result{BypassedAlloc: true}
+}
+
+// Invalidate drops addr's line if resident, returning whether it was
+// dirty (callers writeback as needed). Used by flush modeling.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	w := c.find(set, tag)
+	if w < 0 {
+		return false, false
+	}
+	i := set*c.ways + w
+	d := c.dirty[i]
+	c.valid[i] = false
+	c.dirty[i] = false
+	return true, d
+}
+
+// FlushAll invalidates every line, returning how many dirty lines were
+// dropped (the caller accounts the writeback traffic).
+func (c *Cache) FlushAll() (dirtyLines int) {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			dirtyLines++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	return dirtyLines
+}
+
+// OccupiedLines counts valid lines (diagnostics and tests).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for i, v := range c.valid {
+		_ = i
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) access(addr uint64, write, prefetch bool) Result {
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	if w := c.find(set, tag); w >= 0 {
+		i := set*c.ways + w
+		if write {
+			c.dirty[i] = true
+		}
+		c.repl.onHit(set, w)
+		c.Stats.Hits++
+		return Result{Hit: true}
+	}
+	c.Stats.Misses++
+	return c.fill(set, tag, write)
+}
+
+func (c *Cache) find(set int, tag uint64) int {
+	base := set * c.ways
+	for w := c.reserved; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+func (c *Cache) fill(set int, tag uint64, write bool) Result {
+	base := set * c.ways
+	res := Result{}
+	way := -1
+	for w := c.reserved; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.repl.victim(set, c.reserved)
+		i := base + way
+		res.Evicted = true
+		res.WroteBack = c.dirty[i]
+		res.VictimAddr = c.victimAddr(set, c.tags[i])
+		c.Stats.Evictions++
+		if res.WroteBack {
+			c.Stats.Writebacks++
+		}
+	}
+	i := base + way
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.repl.onFill(set, way)
+	c.Stats.Fills++
+	return res
+}
+
+func (c *Cache) victimAddr(set int, tag uint64) uint64 {
+	return (tag << (LineBits + c.setBits)) | (uint64(set) << LineBits)
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/cpu"
+	"cobra/internal/mem"
+	"cobra/internal/stats"
+)
+
+func newMachine(t *testing.T, tupleBytes int, numIndices uint64) *Machine {
+	t.Helper()
+	h := mem.New(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), h)
+	m := NewMachine(c, DefaultConfig(tupleBytes))
+	if err := m.BinInit(numIndices); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBinInitHierarchyShape(t *testing.T) {
+	m := newMachine(t, 8, 1<<22) // 4M indices, 8B tuples
+	l1, l2, llc := m.LevelBufs()
+	if !(l1 <= l2 && l2 <= llc) {
+		t.Fatalf("C-Buffer counts not monotone: %d/%d/%d", l1, l2, llc)
+	}
+	// L1: 7 ways of 64 sets = 448 lines max.
+	if l1 > 448 {
+		t.Fatalf("L1 C-Buffers %d exceed reserved capacity", l1)
+	}
+	// L2: 1 way of 512 sets = 512 lines max.
+	if l2 > 512 {
+		t.Fatalf("L2 C-Buffers %d exceed reserved capacity", l2)
+	}
+	// LLC: 15 ways of 2048 sets = 30720 lines max.
+	if llc > 30720 {
+		t.Fatalf("LLC C-Buffers %d exceed reserved capacity", llc)
+	}
+	if m.NumBins() != llc {
+		t.Fatal("in-memory bins != LLC C-Buffers")
+	}
+	// Bin ranges are powers of two (shift-indexed).
+	if 1<<m.BinShiftLLC()*uint64(llc) < 1<<22 {
+		t.Fatal("LLC bins do not cover the namespace")
+	}
+}
+
+func TestBinInitSmallNamespaceUsesFewerWays(t *testing.T) {
+	// 1000 indices fit in a handful of C-Buffers; bininit must release
+	// unused reserved ways (§V-A).
+	h := mem.New(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), h)
+	m := NewMachine(c, DefaultConfig(8))
+	if err := m.BinInit(1000); err != nil {
+		t.Fatal(err)
+	}
+	l1, l2, llc := m.LevelBufs()
+	if l1 > 448 || l2 > 512 || llc > 30720 {
+		t.Fatal("buffer counts exceed capacity")
+	}
+	if h.L1c.ReservedWays() >= 8 {
+		t.Fatal("L1 reservation left no usable way")
+	}
+	// With 1000 indices and >=448-line capacity the range can be small:
+	// every level can afford range <= 4.
+	if llc < 250 {
+		t.Fatalf("LLC buffers = %d, want fine-grained bins for tiny namespace", llc)
+	}
+}
+
+func TestBinInitRejectsZero(t *testing.T) {
+	h := mem.New(mem.DefaultConfig())
+	m := NewMachine(cpu.New(cpu.DefaultConfig(), h), DefaultConfig(8))
+	if err := m.BinInit(0); err == nil {
+		t.Fatal("BinInit(0) should fail")
+	}
+}
+
+func TestBadTupleSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-divisor tuple size")
+		}
+	}()
+	h := mem.New(mem.DefaultConfig())
+	NewMachine(cpu.New(cpu.DefaultConfig(), h), DefaultConfig(7))
+}
+
+func TestBinUpdateBeforeInitPanics(t *testing.T) {
+	h := mem.New(mem.DefaultConfig())
+	m := NewMachine(cpu.New(cpu.DefaultConfig(), h), DefaultConfig(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for BinUpdate before BinInit")
+		}
+	}()
+	m.BinUpdate(0, 0)
+}
+
+func TestTupleConservation(t *testing.T) {
+	// Every binupdate'd tuple must reach exactly one in-memory bin, in
+	// the right bin, after flush.
+	const n = 1 << 16
+	m := newMachine(t, 8, n)
+	r := stats.NewRand(1)
+	const updates = 200000
+	want := make(map[uint64]int)
+	for i := 0; i < updates; i++ {
+		k := uint32(r.Intn(n))
+		v := uint64(i)
+		m.BinUpdate(k, v)
+		want[uint64(k)<<32|v&0xffffffff]++
+	}
+	m.BinFlush()
+	if m.ResidentTuples() != 0 {
+		t.Fatalf("%d tuples still on chip after flush", m.ResidentTuples())
+	}
+	if got := m.TotalBinnedTuples(); got != updates {
+		t.Fatalf("binned %d tuples, want %d", got, updates)
+	}
+	shift := m.BinShiftLLC()
+	for id, bin := range m.Bins {
+		for _, tp := range bin {
+			if int(tp.Key>>shift) != id {
+				t.Fatalf("tuple key %d in bin %d (shift %d)", tp.Key, id, shift)
+			}
+			want[uint64(tp.Key)<<32|tp.Val&0xffffffff]--
+		}
+	}
+	for k, c := range want {
+		if c != 0 {
+			t.Fatalf("tuple %x count off by %d", k, c)
+		}
+	}
+}
+
+func TestTupleConservationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, tsel uint8) bool {
+		n := uint64(nRaw%5000) + 64
+		tupleBytes := []int{4, 8, 16}[tsel%3]
+		h := mem.New(mem.DefaultConfig())
+		m := NewMachine(cpu.New(cpu.DefaultConfig(), h), DefaultConfig(tupleBytes))
+		if err := m.BinInit(n); err != nil {
+			return false
+		}
+		r := stats.NewRand(seed)
+		const updates = 5000
+		for i := 0; i < updates; i++ {
+			m.BinUpdate(uint32(r.Uint64n(n)), uint64(i))
+		}
+		m.BinFlush()
+		return m.ResidentTuples() == 0 && m.TotalBinnedTuples() == updates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOutOfRangePanics(t *testing.T) {
+	m := newMachine(t, 8, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range key")
+		}
+	}()
+	m.BinUpdate(100, 0)
+}
+
+func TestPerChunkOrderWithinBin(t *testing.T) {
+	// COBRA preserves arrival order per key range... more precisely,
+	// tuples of one key arrive in bins in production order (FIFO through
+	// the hierarchy) — required for non-commutative correctness.
+	m := newMachine(t, 8, 1024)
+	for i := 0; i < 5000; i++ {
+		m.BinUpdate(uint32(i%1024), uint64(i))
+	}
+	m.BinFlush()
+	seen := make(map[uint32]uint64)
+	for _, bin := range m.Bins {
+		for _, tp := range bin {
+			if last, ok := seen[tp.Key]; ok && tp.Val <= last {
+				t.Fatalf("key %d: tuple %d arrived after %d", tp.Key, tp.Val, last)
+			}
+			seen[tp.Key] = tp.Val
+		}
+	}
+}
+
+func TestEvictionBufferStalls(t *testing.T) {
+	// A tiny eviction buffer under a dense burst must stall; the default
+	// 32-entry buffer must stall far less (Figure 13a's shape).
+	run := func(entries int) float64 {
+		h := mem.New(mem.DefaultConfig())
+		c := cpu.New(cpu.DefaultConfig(), h)
+		cfg := DefaultConfig(4) // 16 tuples/line -> heavy engine load
+		cfg.EvictBufL1L2 = entries
+		m := NewMachine(c, cfg)
+		if err := m.BinInit(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRand(3)
+		for i := 0; i < 300000; i++ {
+			// back-to-back binupdates, no other work: worst-case burst
+			m.BinUpdate(uint32(r.Uint64n(1<<20)), 1)
+		}
+		stalls, _ := m.EvictionStalls()
+		return stalls
+	}
+	small := run(1)
+	big := run(64)
+	if small <= big {
+		t.Fatalf("1-entry buffer stalled %.0f cycles, 64-entry %.0f; want small >> big", small, big)
+	}
+	if small == 0 {
+		t.Fatal("worst-case burst produced zero stalls with a 1-entry buffer")
+	}
+}
+
+func TestCoalescingReducesTraffic(t *testing.T) {
+	// COBRA-COMM on a highly skewed stream must write fewer tuples to
+	// memory than plain COBRA (Figure 14a's mechanism).
+	run := func(coalesce bool) (tuples int, memBytes uint64) {
+		h := mem.New(mem.DefaultConfig())
+		c := cpu.New(cpu.DefaultConfig(), h)
+		cfg := DefaultConfig(8)
+		cfg.Coalesce = coalesce
+		m := NewMachine(c, cfg)
+		if err := m.BinInit(1 << 16); err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRand(5)
+		for i := 0; i < 200000; i++ {
+			// Zipf-ish: 80% of updates to 1% of keys.
+			var k uint32
+			if r.Float64() < 0.8 {
+				k = uint32(r.Uint64n(655))
+			} else {
+				k = uint32(r.Uint64n(1 << 16))
+			}
+			m.BinUpdate(k, 1)
+		}
+		m.BinFlush()
+		return m.TotalBinnedTuples(), m.St.MemWriteBytes
+	}
+	plainTuples, plainBytes := run(false)
+	commTuples, commBytes := run(true)
+	if plainTuples != 200000 {
+		t.Fatalf("plain COBRA lost tuples: %d", plainTuples)
+	}
+	if commTuples >= plainTuples {
+		t.Fatalf("coalescing did not reduce tuples: %d vs %d", commTuples, plainTuples)
+	}
+	if commBytes >= plainBytes {
+		t.Fatalf("coalescing did not reduce traffic: %d vs %d", commBytes, plainBytes)
+	}
+}
+
+func TestCoalescedSumsPreserved(t *testing.T) {
+	// With add-coalescing, per-key value sums must be exact.
+	h := mem.New(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), h)
+	cfg := DefaultConfig(8)
+	cfg.Coalesce = true
+	m := NewMachine(c, cfg)
+	const n = 4096
+	if err := m.BinInit(n); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	r := stats.NewRand(7)
+	for i := 0; i < 100000; i++ {
+		k := uint32(r.Uint64n(n))
+		v := uint64(r.Intn(10))
+		m.BinUpdate(k, v)
+		want[k] += v
+	}
+	m.BinFlush()
+	got := make([]uint64, n)
+	for _, bin := range m.Bins {
+		for _, tp := range bin {
+			got[tp.Key] += tp.Val
+		}
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("key %d: sum %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestContextSwitchWaste(t *testing.T) {
+	run := func(quantum float64) uint64 {
+		h := mem.New(mem.DefaultConfig())
+		c := cpu.New(cpu.DefaultConfig(), h)
+		cfg := DefaultConfig(8)
+		cfg.CtxSwitchQuantum = quantum
+		m := NewMachine(c, cfg)
+		if err := m.BinInit(1 << 18); err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRand(9)
+		for i := 0; i < 300000; i++ {
+			m.BinUpdate(uint32(r.Uint64n(1<<18)), 1)
+		}
+		m.BinFlush()
+		return m.St.CtxWasteBytes
+	}
+	frequent := run(5000)
+	rare := run(10e6)
+	if frequent <= rare {
+		t.Fatalf("frequent preemption wasted %d B, rare %d B; want frequent > rare", frequent, rare)
+	}
+}
+
+func TestBinUpdateChargesOneInstruction(t *testing.T) {
+	m := newMachine(t, 8, 1<<16)
+	before := m.CPU.Ctr.Instructions
+	m.BinUpdate(1, 2)
+	if d := m.CPU.Ctr.Instructions - before; d != 1 {
+		t.Fatalf("binupdate charged %d instructions, want 1", d)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	m := newMachine(t, 8, 1<<12)
+	for i := 0; i < 100; i++ {
+		m.BinUpdate(uint32(i%100), uint64(i))
+	}
+	m.BinFlush()
+	n := m.TotalBinnedTuples()
+	m.BinFlush()
+	if m.TotalBinnedTuples() != n {
+		t.Fatal("second flush changed bins")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := newMachine(t, 8, 1<<16)
+	r := stats.NewRand(11)
+	const updates = 50000
+	for i := 0; i < updates; i++ {
+		m.BinUpdate(uint32(r.Uint64n(1<<16)), 1)
+	}
+	m.BinFlush()
+	if m.St.BinUpdates != updates {
+		t.Fatalf("BinUpdates = %d", m.St.BinUpdates)
+	}
+	if m.St.MemWriteBytes == 0 || m.St.LLCEvictions == 0 && m.St.FlushLines == 0 {
+		t.Fatalf("stats = %+v", m.St)
+	}
+	// All tuples written as lines: bytes >= tuples*8.
+	if m.St.MemWriteBytes < uint64(updates)*8 {
+		t.Fatalf("MemWriteBytes %d below tuple payload", m.St.MemWriteBytes)
+	}
+}
+
+func TestNoPartitionCBufMissRate(t *testing.T) {
+	// §V-E: without static partitioning, C-Buffer inserts should still
+	// mostly hit in L1 because only ~256 hot buffer lines compete with
+	// streaming data (which Bit-PLRU cycles through one way).
+	h := mem.New(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), h)
+	cfg := DefaultConfig(8)
+	cfg.NoPartition = true
+	m := NewMachine(c, cfg)
+	if err := m.BinInit(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if h.L1c.ReservedWays() != 0 {
+		t.Fatal("NoPartition must not reserve ways")
+	}
+	r := stats.NewRand(3)
+	var streamAddr uint64 = 1 << 30
+	for i := 0; i < 200000; i++ {
+		// Interleave streaming input loads with binupdates, as Binning does.
+		c.Load(streamAddr)
+		streamAddr += 8
+		m.BinUpdate(uint32(r.Uint64n(1<<20)), 1)
+	}
+	if m.St.CBufAccesses == 0 {
+		t.Fatal("no C-Buffer accesses tracked")
+	}
+	if rate := m.St.CBufMissRate(); rate > 0.02 {
+		t.Fatalf("unpartitioned C-Buffer miss rate %.4f, paper claims <1%%", rate)
+	}
+}
+
+func TestPartitionedModeTracksNoCBufStats(t *testing.T) {
+	m := newMachine(t, 8, 1<<16)
+	m.BinUpdate(1, 1)
+	if m.St.CBufAccesses != 0 {
+		t.Fatal("partitioned mode should not track C-Buffer accesses")
+	}
+	var zero Stats
+	if zero.CBufMissRate() != 0 {
+		t.Fatal("zero stats miss rate should be 0")
+	}
+}

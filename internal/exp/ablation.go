@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+
+	"cobra/internal/cache"
+	"cobra/internal/mem"
+	"cobra/internal/sim"
+)
+
+// This file contains ablation experiments for the design choices
+// DESIGN.md calls out — they are not paper figures, but they justify
+// the modeling decisions the figures rest on.
+
+// AblationPrefetcher quantifies the L2 stream prefetcher's contribution:
+// the paper's Binning phase is supposed to be streaming-friendly, which
+// is only visible if the prefetcher actually hides stream latency.
+func AblationPrefetcher(o Opts) (*Table, error) {
+	app, err := BuildApp("NeighborPopulate", "KRON", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A1",
+		Title:  "L2 stream prefetcher on/off (Neighbor-Populate, KRON)",
+		Header: []string{"prefetcher", "scheme", "cycles", "DRAM-reads"},
+	}
+	for _, pf := range []bool{true, false} {
+		arch := o.Arch
+		if !pf {
+			arch.Mem.PrefetchDegree = 0
+		}
+		label := "on"
+		if !pf {
+			label = "off"
+		}
+		base, err := sim.RunBaseline(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label, "Baseline", fe(base.Cycles), fmt.Sprintf("%d", base.DRAM.ReadLines))
+		pbm, err := sim.RunPBSW(app, 4096, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label, "PB-SW", fe(pbm.Cycles), fmt.Sprintf("%d", pbm.DRAM.ReadLines))
+	}
+	t.Notes = append(t.Notes, "PB leans on streaming; disabling the prefetcher hurts PB more than baseline")
+	return t, nil
+}
+
+// AblationLLCPolicy compares DRRIP (Table II) against true LRU at the
+// LLC for the scan-heavy baseline.
+func AblationLLCPolicy(o Opts) (*Table, error) {
+	app, err := BuildApp("DegreeCount", "URND", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A2",
+		Title:  "LLC replacement policy (DegreeCount, URND baseline)",
+		Header: []string{"policy", "cycles", "LLC-miss-rate"},
+	}
+	for _, pol := range []cache.PolicyKind{cache.DRRIP, cache.TrueLRU, cache.Random} {
+		arch := o.Arch
+		arch.Mem.LLC.Policy = pol
+		m, err := sim.RunBaseline(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pol.String(), fe(m.Cycles), fp(m.LLCMissRate))
+	}
+	t.Notes = append(t.Notes, "DRRIP's scan resistance protects the reused counter lines from streaming input")
+	return t, nil
+}
+
+// AblationPINV reproduces §VII-A's PINV footnote: capping COBRA's LLC
+// C-Buffer count at a medium value recovers the accumulate performance
+// that fine bins destroy for a no-reuse scatter.
+func AblationPINV(o Opts) (*Table, error) {
+	app, err := BuildApp("PINV", "PERM", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A3",
+		Title:  "PINV: COBRA with capped (medium) LLC C-Buffer count (§VII-A)",
+		Header: []string{"LLC-bufs", "binning-cyc", "accum-cyc", "total-cyc"},
+	}
+	full, err := sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(fmt.Sprintf("%d (default)", full.NumBins), fe(full.BinCycles), fe(full.AccumCycles), fe(full.Cycles))
+	for _, cap := range []int{1024, 256, 64} {
+		m, err := sim.RunCOBRA(app, sim.CobraOpt{MaxLLCBufs: cap}, o.Arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", cap), fe(m.BinCycles), fe(m.AccumCycles), fe(m.Cycles))
+	}
+	t.Notes = append(t.Notes,
+		"PINV writes each key exactly once, so fine bins add per-bin overhead with no reuse to harvest;",
+		"the paper's medium-bin COBRA variant lifted its mean to 1.94x over PB")
+	return t, nil
+}
+
+// AblationNoPartition reproduces §V-E's "Need for Static Cache
+// Partitioning" claim: without way reservation, the baseline
+// replacement policy still keeps C-Buffer inserts hitting in L1 (<1%
+// miss rate) because all competing Binning accesses are streaming.
+func AblationNoPartition(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "Ablation A5",
+		Title:  "COBRA without static cache partitioning: C-Buffer L1 miss rate",
+		Header: []string{"app", "input", "cbuf-miss-rate", "binning-vs-partitioned"},
+	}
+	for _, p := range []pair{{"NeighborPopulate", "KRON"}, {"DegreeCount", "URND"}} {
+		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := sim.RunCOBRA(app, sim.CobraOpt{SkipAccum: true}, o.Arch)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.RunCOBRA(app, sim.CobraOpt{NoPartition: true, SkipAccum: true}, o.Arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.App, p.Input, fp(m.CBufMissRate), fx(m.BinCycles/ref.BinCycles))
+	}
+	t.Notes = append(t.Notes, "paper: <1% C-Buffer miss rate without partitioning (streaming co-traffic)")
+	return t, nil
+}
+
+// AblationMLP sweeps the core's MSHR count, the knob that controls how
+// much memory-level parallelism hides irregular-miss latency — the
+// modeling decision the whole baseline/PB gap rests on.
+func AblationMLP(o Opts) (*Table, error) {
+	app, err := BuildApp("DegreeCount", "URND", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A4",
+		Title:  "MSHR sweep: baseline sensitivity to memory-level parallelism",
+		Header: []string{"MSHRs", "baseline-cyc", "PB-SW-cyc", "PB-speedup"},
+	}
+	for _, mshrs := range []int{1, 4, 10, 16} {
+		arch := o.Arch
+		arch.CPU.MSHRs = mshrs
+		base, err := sim.RunBaseline(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		pbm, err := sim.RunPBSW(app, 4096, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", mshrs), fe(base.Cycles), fe(pbm.Cycles), fx(pbm.Speedup(base)))
+	}
+	t.Notes = append(t.Notes, "fewer MSHRs punish the irregular baseline far more than streaming PB")
+	return t, nil
+}
+
+// AblationNUCA turns on Table II's 4x4-mesh NUCA modeling for the
+// shared-LLC view: baseline irregular accesses scatter across remote
+// banks (paying NoC hops) while COBRA's C-Buffers stay in the local
+// bank — sharpening COBRA's advantage.
+func AblationNUCA(o Opts) (*Table, error) {
+	app, err := BuildApp("DegreeCount", "URND", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A6",
+		Title:  "NUCA mesh latency on the shared-LLC view (DegreeCount, URND)",
+		Header: []string{"NUCA", "baseline-cyc", "COBRA-cyc", "COBRA-speedup"},
+	}
+	for _, on := range []bool{false, true} {
+		arch := o.Arch
+		label := "off (local slice)"
+		if on {
+			arch.Mem.NUCA = mem.DefaultNUCA()
+			label = "on (4x4 mesh)"
+		}
+		base, err := sim.RunBaseline(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		cob, err := sim.RunCOBRA(app, sim.CobraOpt{}, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label, fe(base.Cycles), fe(cob.Cycles), fx(cob.Speedup(base)))
+	}
+	t.Notes = append(t.Notes, "NoC hops penalize the baseline's bank-scattered accesses more than COBRA's")
+	return t, nil
+}

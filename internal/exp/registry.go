@@ -1,0 +1,241 @@
+// Package exp defines the experiment registry and the per-figure
+// drivers that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index).
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"cobra/internal/graph"
+	"cobra/internal/kernels"
+	"cobra/internal/pb"
+	"cobra/internal/sim"
+	"cobra/internal/sparse"
+	"cobra/internal/stats"
+)
+
+// appBuilder constructs a workload at the given scale.
+type appBuilder func(input string, scale int, seed uint64) (*sim.App, error)
+
+// buildGraphInput generates the named graph input (stand-ins for the
+// paper's Table III inputs; see internal/graph).
+func buildGraphInput(input string, scale int, seed uint64) (*graph.EdgeList, error) {
+	switch input {
+	case "KRON":
+		return graph.RMAT(scale, 16, seed), nil
+	case "TWIT":
+		return graph.RMATParams(scale, 12, 0.65, 0.15, 0.15, seed+2), nil
+	case "URND":
+		n := 1 << scale
+		return graph.Uniform(n, 16*n, seed+1), nil
+	case "ROAD":
+		side := 1 << ((scale + 1) / 2)
+		return graph.Grid(side, 1<<(scale/2), 0.05, seed+3), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown graph input %q (want KRON, TWIT, URND, ROAD)", input)
+	}
+}
+
+// buildMatrixInput generates the named sparse-matrix input.
+func buildMatrixInput(input string, scale int, seed uint64) (*sparse.Matrix, error) {
+	n := 1 << scale
+	switch input {
+	case "STEN": // HPCG-style stencil (simulation problems)
+		side := 1 << (scale / 2)
+		return sparse.Stencil5(side), nil
+	case "RAND": // optimization problems
+		return sparse.RandomSparse(n, n, 8, seed+4), nil
+	case "SKEW": // power-law columns
+		return sparse.SkewedSparse(n, n, 8, seed+5), nil
+	case "BAND":
+		return sparse.Banded(n, 8, 1<<(scale/2), seed+6), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown matrix input %q (want STEN, RAND, SKEW, BAND)", input)
+	}
+}
+
+var appBuilders = map[string]appBuilder{
+	"DegreeCount": func(input string, scale int, seed uint64) (*sim.App, error) {
+		el, err := buildGraphInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.DegreeCount(el, input), nil
+	},
+	"NeighborPopulate": func(input string, scale int, seed uint64) (*sim.App, error) {
+		el, err := buildGraphInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.NeighborPopulate(el, input), nil
+	},
+	"PageRank": func(input string, scale int, seed uint64) (*sim.App, error) {
+		el, err := buildGraphInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.PageRank(graph.BuildCSR(el, false, pb.Options{}), input), nil
+	},
+	"Radii": func(input string, scale int, seed uint64) (*sim.App, error) {
+		el, err := buildGraphInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.Radii(graph.BuildCSR(el, false, pb.Options{}), input), nil
+	},
+	"IntSort": func(input string, scale int, seed uint64) (*sim.App, error) {
+		// Input selects the max key value relative to key count (the
+		// paper varies maximum key values): SMALLKEY = 2^(scale-2),
+		// BIGKEY = 2^scale.
+		n := 4 << scale
+		switch input {
+		case "SMALLKEY":
+			return kernels.IntSort(n, 1<<(scale-2), seed+7, input), nil
+		case "BIGKEY", "URND", "KRON", "TWIT", "ROAD":
+			return kernels.IntSort(n, 1<<scale, seed+7, "BIGKEY"), nil
+		default:
+			return nil, fmt.Errorf("exp: unknown IntSort input %q (want SMALLKEY, BIGKEY)", input)
+		}
+	},
+	"SpMV": func(input string, scale int, seed uint64) (*sim.App, error) {
+		m, err := buildMatrixInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.SpMV(m, input), nil
+	},
+	"Transpose": func(input string, scale int, seed uint64) (*sim.App, error) {
+		m, err := buildMatrixInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.Transpose(m, input), nil
+	},
+	"PINV": func(input string, scale int, seed uint64) (*sim.App, error) {
+		perm := stats.NewRand(seed + 8).Perm(1 << scale)
+		return kernels.PINV(perm, "PERM"), nil
+	},
+	"SymPerm": func(input string, scale int, seed uint64) (*sim.App, error) {
+		m, err := buildMatrixInput(input, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		perm := stats.NewRand(seed + 9).Perm(m.Rows)
+		return kernels.SymPerm(m, perm, input), nil
+	},
+}
+
+// AppNames returns the registered workload names, sorted.
+func AppNames() []string {
+	names := make([]string, 0, len(appBuilders))
+	for n := range appBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InputNames returns the canonical input names.
+func InputNames() []string {
+	return []string{"KRON", "TWIT", "URND", "ROAD", "STEN", "RAND", "SKEW", "BAND", "SMALLKEY", "BIGKEY", "PERM"}
+}
+
+// GraphApps lists workloads that take graph inputs.
+func GraphApps() []string {
+	return []string{"DegreeCount", "NeighborPopulate", "PageRank", "Radii"}
+}
+
+// MatrixApps lists workloads that take matrix inputs.
+func MatrixApps() []string { return []string{"SpMV", "Transpose", "SymPerm"} }
+
+// BuildApp constructs a workload by name at the given scale.
+func BuildApp(name, input string, scale int, seed uint64) (*sim.App, error) {
+	b, ok := appBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown workload %q (want one of %v)", name, AppNames())
+	}
+	return b(input, scale, seed)
+}
+
+// BinSweep is the bin-count sweep used to pick PB-SW's best bin count,
+// exactly as the paper does ("we simulated multiple bin ranges for PB,
+// selecting the best bin range for each workload and input pair").
+var BinSweep = []int{16, 256, 4096, 16384, 65536}
+
+// BestPBSW sweeps bin counts and returns the fastest PB-SW run plus the
+// whole sweep (Figure 4's raw data).
+func BestPBSW(app *sim.App, arch sim.Arch) (best sim.Metrics, sweep []sim.Metrics, err error) {
+	for _, bins := range BinSweep {
+		if bins > app.NumKeys {
+			break
+		}
+		m, e := sim.RunPBSW(app, bins, arch)
+		if e != nil {
+			return sim.Metrics{}, nil, e
+		}
+		sweep = append(sweep, m)
+		if best.Cycles == 0 || m.Cycles < best.Cycles {
+			best = m
+		}
+	}
+	if len(sweep) == 0 {
+		best, err = sim.RunPBSW(app, 1, arch)
+		sweep = []sim.Metrics{best}
+	}
+	return best, sweep, err
+}
+
+// BestIdealPB composes PB-SW-IDEAL from a sweep: the fastest Binning
+// phase paired with the fastest Accumulate phase (Figure 5).
+func BestIdealPB(sweep []sim.Metrics) sim.Metrics {
+	if len(sweep) == 0 {
+		return sim.Metrics{}
+	}
+	bestBin, bestAcc := sweep[0], sweep[0]
+	for _, m := range sweep[1:] {
+		if m.BinCycles < bestBin.BinCycles {
+			bestBin = m
+		}
+		if m.AccumCycles < bestAcc.AccumCycles {
+			bestAcc = m
+		}
+	}
+	return sim.IdealPB(bestBin, bestAcc)
+}
+
+// RunScheme executes one scheme by name; bins <= 0 triggers the PB-SW
+// sweep (and PB-SW's best bin count is reused for PHI).
+func RunScheme(app *sim.App, scheme sim.Scheme, bins int, arch sim.Arch) (sim.Metrics, error) {
+	switch scheme {
+	case sim.SchemeBaseline:
+		return sim.RunBaseline(app, arch)
+	case sim.SchemePBSW:
+		if bins > 0 {
+			return sim.RunPBSW(app, bins, arch)
+		}
+		best, _, err := BestPBSW(app, arch)
+		return best, err
+	case sim.SchemePBIdeal:
+		_, sweep, err := BestPBSW(app, arch)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		return BestIdealPB(sweep), nil
+	case sim.SchemeCOBRA:
+		return sim.RunCOBRA(app, sim.CobraOpt{}, arch)
+	case sim.SchemeComm:
+		return sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, arch)
+	case sim.SchemePHI:
+		if bins <= 0 {
+			best, _, err := BestPBSW(app, arch)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			bins = best.NumBins
+		}
+		return sim.RunPHI(app, bins, arch)
+	default:
+		return sim.Metrics{}, fmt.Errorf("exp: unknown scheme %q", scheme)
+	}
+}

@@ -1,0 +1,258 @@
+// Package gio serializes the repository's graph and matrix types to a
+// compact binary format, so generated inputs can be produced once
+// (cmd/graphgen) and reused across experiment runs.
+//
+// Format: an 8-byte magic ("CBRAGIO" + kind byte), a u32 version, then
+// little-endian payload sections. Readers validate structure before
+// returning (corrupt files fail loudly, never produce invalid CSR).
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cobra/internal/graph"
+	"cobra/internal/sparse"
+)
+
+const version = 1
+
+var (
+	magicEdgeList = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'E'}
+	magicCSR      = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'G'}
+	magicMatrix   = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'M'}
+)
+
+func writeHeader(w io.Writer, magic [8]byte) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(version))
+}
+
+func readHeader(r io.Reader, want [8]byte, kind string) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("gio: reading %s magic: %w", kind, err)
+	}
+	if magic != want {
+		return fmt.Errorf("gio: not a %s file (magic %q)", kind, magic[:])
+	}
+	var v uint32
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return fmt.Errorf("gio: reading %s version: %w", kind, err)
+	}
+	if v != version {
+		return fmt.Errorf("gio: %s version %d unsupported (want %d)", kind, v, version)
+	}
+	return nil
+}
+
+func writeU32s(w io.Writer, xs []uint32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(xs))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, xs)
+}
+
+func readU32s(r io.Reader, limit uint64, what string) ([]uint32, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("gio: reading %s length: %w", what, err)
+	}
+	if n > limit {
+		return nil, fmt.Errorf("gio: %s length %d exceeds sanity limit %d", what, n, limit)
+	}
+	xs := make([]uint32, n)
+	if err := binary.Read(r, binary.LittleEndian, xs); err != nil {
+		return nil, fmt.Errorf("gio: reading %s payload: %w", what, err)
+	}
+	return xs, nil
+}
+
+// maxElems bounds any single array read to ~4 Gi entries, rejecting
+// obviously corrupt headers before allocation.
+const maxElems = 1 << 32
+
+// WriteEdgeList serializes el.
+func WriteEdgeList(w io.Writer, el *graph.EdgeList) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicEdgeList); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(el.N)); err != nil {
+		return err
+	}
+	srcs := make([]uint32, el.M())
+	dsts := make([]uint32, el.M())
+	for i, e := range el.Edges {
+		srcs[i], dsts[i] = e.Src, e.Dst
+	}
+	if err := writeU32s(bw, srcs); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, dsts); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList deserializes an edge list, validating vertex bounds.
+func ReadEdgeList(r io.Reader) (*graph.EdgeList, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicEdgeList, "edge list"); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxElems {
+		return nil, fmt.Errorf("gio: vertex count %d exceeds sanity limit", n)
+	}
+	srcs, err := readU32s(br, maxElems, "sources")
+	if err != nil {
+		return nil, err
+	}
+	dsts, err := readU32s(br, maxElems, "destinations")
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("gio: source/destination counts differ (%d vs %d)", len(srcs), len(dsts))
+	}
+	el := &graph.EdgeList{N: int(n), Edges: make([]graph.Edge, len(srcs))}
+	for i := range srcs {
+		if uint64(srcs[i]) >= n || uint64(dsts[i]) >= n {
+			return nil, fmt.Errorf("gio: edge %d (%d->%d) out of range [0,%d)", i, srcs[i], dsts[i], n)
+		}
+		el.Edges[i] = graph.Edge{Src: srcs[i], Dst: dsts[i]}
+	}
+	return el, nil
+}
+
+// WriteCSR serializes g.
+func WriteCSR(w io.Writer, g *graph.CSR) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicCSR); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.N)); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.Offsets); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.Neighs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSR deserializes a CSR graph and validates its invariants.
+func ReadCSR(r io.Reader) (*graph.CSR, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicCSR, "CSR"); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxElems {
+		return nil, fmt.Errorf("gio: vertex count %d exceeds sanity limit", n)
+	}
+	offsets, err := readU32s(br, maxElems, "offsets")
+	if err != nil {
+		return nil, err
+	}
+	neighs, err := readU32s(br, maxElems, "neighbors")
+	if err != nil {
+		return nil, err
+	}
+	g := &graph.CSR{N: int(n), Offsets: offsets, Neighs: neighs}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: %w", err)
+	}
+	return g, nil
+}
+
+// WriteMatrix serializes m.
+func WriteMatrix(w io.Writer, m *sparse.Matrix) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicMatrix); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(m.Rows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(m.Cols)); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, m.RowPtr); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, m.ColIdx); err != nil {
+		return err
+	}
+	bits := make([]uint64, len(m.Vals))
+	for i, v := range m.Vals {
+		bits[i] = math.Float64bits(v)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(bits))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, bits); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix deserializes a CSR matrix and validates its invariants.
+func ReadMatrix(r io.Reader) (*sparse.Matrix, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicMatrix, "matrix"); err != nil {
+		return nil, err
+	}
+	var rows, cols uint64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+		return nil, err
+	}
+	if rows > maxElems || cols > maxElems {
+		return nil, fmt.Errorf("gio: matrix shape %dx%d exceeds sanity limit", rows, cols)
+	}
+	rowptr, err := readU32s(br, maxElems, "rowptr")
+	if err != nil {
+		return nil, err
+	}
+	colidx, err := readU32s(br, maxElems, "colidx")
+	if err != nil {
+		return nil, err
+	}
+	var nv uint64
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, err
+	}
+	if nv > maxElems {
+		return nil, fmt.Errorf("gio: value count %d exceeds sanity limit", nv)
+	}
+	bits := make([]uint64, nv)
+	if err := binary.Read(br, binary.LittleEndian, bits); err != nil {
+		return nil, err
+	}
+	vals := make([]float64, nv)
+	for i, b := range bits {
+		vals[i] = math.Float64frombits(b)
+	}
+	m := &sparse.Matrix{Rows: int(rows), Cols: int(cols), RowPtr: rowptr, ColIdx: colidx, Vals: vals}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: %w", err)
+	}
+	return m, nil
+}

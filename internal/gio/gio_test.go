@@ -1,0 +1,172 @@
+package gio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/graph"
+	"cobra/internal/pb"
+	"cobra/internal/sparse"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	el := graph.RMAT(10, 8, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != el.N || got.M() != el.M() {
+		t.Fatalf("shape changed: (%d,%d) vs (%d,%d)", got.N, got.M(), el.N, el.M())
+	}
+	for i := range el.Edges {
+		if got.Edges[i] != el.Edges[i] {
+			t.Fatalf("edge %d changed", i)
+		}
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g := graph.BuildCSR(graph.Uniform(500, 3000, 5), false, pb.Options{})
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || got.M() != g.M() {
+		t.Fatal("shape changed")
+	}
+	for i := range g.Offsets {
+		if got.Offsets[i] != g.Offsets[i] {
+			t.Fatal("offsets changed")
+		}
+	}
+	for i := range g.Neighs {
+		if got.Neighs[i] != g.Neighs[i] {
+			t.Fatal("neighbors changed")
+		}
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := sparse.SkewedSparse(300, 256, 5, 7)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols || got.NNZ() != m.NNZ() {
+		t.Fatal("shape changed")
+	}
+	for i := range m.Vals {
+		if got.Vals[i] != m.Vals[i] || got.ColIdx[i] != m.ColIdx[i] {
+			t.Fatalf("entry %d changed", i)
+		}
+	}
+}
+
+func TestWrongMagicRejected(t *testing.T) {
+	el := graph.Uniform(10, 20, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSR(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("CSR reader accepted an edge-list file")
+	}
+	if _, err := ReadMatrix(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("matrix reader accepted an edge-list file")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	el := graph.Uniform(10, 20, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 4, 8, 12, 20, len(full) - 1} {
+		if _, err := ReadEdgeList(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptEdgeRejected(t *testing.T) {
+	el := &graph.EdgeList{N: 4, Edges: []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a source vertex to be out of range: sources start after
+	// magic(8) + version(4) + n(8) + len(8).
+	b := buf.Bytes()
+	b[28] = 0xff
+	b[29] = 0xff
+	if _, err := ReadEdgeList(bytes.NewReader(b)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestCorruptCSRRejected(t *testing.T) {
+	g := graph.BuildCSR(graph.Uniform(50, 200, 2), false, pb.Options{})
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt an offsets entry (monotonicity check must fire).
+	b[40] = 0xff
+	b[41] = 0xff
+	b[42] = 0xff
+	if _, err := ReadCSR(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt CSR accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		el := graph.Uniform(n, 4*n, seed)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, el) != nil {
+			return false
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil || got.N != el.N || got.M() != el.M() {
+			return false
+		}
+		for i := range el.Edges {
+			if got.Edges[i] != el.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyStructures(t *testing.T) {
+	el := &graph.EdgeList{N: 1}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil || got.M() != 0 {
+		t.Fatalf("empty edge list round trip: %v, %d edges", err, got.M())
+	}
+}

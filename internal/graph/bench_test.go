@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"testing"
+
+	"cobra/internal/pb"
+)
+
+func benchEL() *EdgeList { return RMAT(16, 16, 1) }
+
+func BenchmarkBuildCSRBaseline(b *testing.B) {
+	el := benchEL()
+	b.SetBytes(int64(8 * el.M()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCSR(el, false, pb.Options{})
+	}
+}
+
+func BenchmarkBuildCSRPB(b *testing.B) {
+	el := benchEL()
+	b.SetBytes(int64(8 * el.M()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCSR(el, true, pb.Options{})
+	}
+}
+
+func BenchmarkPageRankPull(b *testing.B) {
+	el := benchEL()
+	g := BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	deg := DegreeCount(el)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRankPull(gt, deg, 5, 0)
+	}
+}
+
+func BenchmarkPageRankPB(b *testing.B) {
+	el := benchEL()
+	g := BuildCSR(el, false, pb.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRankPB(g, 5, 0, pb.Options{})
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(14, 16, uint64(i))
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+// Connected components and single-source shortest paths: two further
+// irregular-update kernels with unordered parallelism, extending the
+// PB library beyond the paper's evaluated nine (its §III-B argument
+// covers them: label-propagation updates are commutative min-reductions,
+// so both software PB and COBRA-COMM apply).
+
+import (
+	"sync/atomic"
+
+	"cobra/internal/pb"
+)
+
+// ConnectedComponents runs label propagation on an undirected view of g
+// (edges are followed in both directions): every vertex starts with its
+// own ID; each round, each vertex pushes its label to its neighbors,
+// which keep the minimum. Converges to per-component minimum vertex IDs.
+func ConnectedComponents(g *CSR) []uint32 {
+	return ccRun(g, func(labels, next []uint32, changed *bool) {
+		for v := uint32(0); int(v) < g.N; v++ {
+			l := labels[v]
+			for _, u := range g.Neighbors(v) {
+				if l < next[u] {
+					next[u] = l // irregular commutative (min) update
+					*changed = true
+				}
+				if lu := labels[u]; lu < next[v] {
+					next[v] = lu
+					*changed = true
+				}
+			}
+		}
+	})
+}
+
+// ConnectedComponentsPB is the propagation-blocked variant: label
+// pushes are binned by destination before the min-reduction applies.
+func ConnectedComponentsPB(g *CSR, o pb.Options) []uint32 {
+	return ccRun(g, func(labels, next []uint32, changed *bool) {
+		var flag atomic.Bool
+		pb.Run(g.N, g.N,
+			func(b, e int, emit func(uint32, uint32)) {
+				for v := b; v < e; v++ {
+					l := labels[v]
+					for _, u := range g.Neighbors(uint32(v)) {
+						emit(u, l)
+						emit(uint32(v), labels[u])
+					}
+				}
+			},
+			func(u uint32, l uint32) {
+				if l < next[u] {
+					next[u] = l
+					flag.Store(true)
+				}
+			},
+			o)
+		if flag.Load() {
+			*changed = true
+		}
+	})
+}
+
+func ccRun(g *CSR, round func(labels, next []uint32, changed *bool)) []uint32 {
+	labels := make([]uint32, g.N)
+	next := make([]uint32, g.N)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for iter := 0; iter < g.N; iter++ {
+		copy(next, labels)
+		changed := false
+		round(labels, next, &changed)
+		labels, next = next, labels
+		if !changed {
+			break
+		}
+	}
+	return labels
+}
+
+// InfDist marks unreachable vertices in SSSP results.
+const InfDist = int64(1) << 62
+
+// SSSP computes single-source shortest paths with unit-ish weights
+// derived from edge endpoints (deterministic pseudo-weights in [1,8])
+// using Bellman-Ford rounds of irregular min-updates.
+func SSSP(g *CSR, source uint32) []int64 {
+	return ssspRun(g, source, func(dist, next []int64, changed *bool) {
+		for v := uint32(0); int(v) < g.N; v++ {
+			dv := dist[v]
+			if dv == InfDist {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if d := dv + int64(EdgeWeight(v, u)); d < next[u] {
+					next[u] = d // irregular commutative (min) update
+					*changed = true
+				}
+			}
+		}
+	})
+}
+
+// SSSPPB is the propagation-blocked Bellman-Ford.
+func SSSPPB(g *CSR, source uint32, o pb.Options) []int64 {
+	return ssspRun(g, source, func(dist, next []int64, changed *bool) {
+		var flag atomic.Bool
+		pb.Run(g.N, g.N,
+			func(b, e int, emit func(uint32, uint64)) {
+				for v := b; v < e; v++ {
+					dv := dist[v]
+					if dv == InfDist {
+						continue
+					}
+					for _, u := range g.Neighbors(uint32(v)) {
+						emit(u, uint64(dv+int64(EdgeWeight(uint32(v), u))))
+					}
+				}
+			},
+			func(u uint32, d uint64) {
+				if int64(d) < next[u] {
+					next[u] = int64(d)
+					flag.Store(true)
+				}
+			},
+			o)
+		if flag.Load() {
+			*changed = true
+		}
+	})
+}
+
+func ssspRun(g *CSR, source uint32, round func(dist, next []int64, changed *bool)) []int64 {
+	dist := make([]int64, g.N)
+	next := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[source] = 0
+	for iter := 0; iter < g.N; iter++ {
+		copy(next, dist)
+		changed := false
+		round(dist, next, &changed)
+		dist, next = next, dist
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// EdgeWeight derives a deterministic pseudo-weight in [1, 8] for edge
+// (v, u) — a stand-in for stored weights that keeps the CSR compact.
+func EdgeWeight(v, u uint32) uint32 {
+	x := uint64(v)*0x9e3779b97f4a7c15 ^ uint64(u)*0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return uint32(x&7) + 1
+}

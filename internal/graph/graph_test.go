@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/pb"
+	"cobra/internal/stats"
+)
+
+func sortedNeighbors(g *CSR, v uint32) []uint32 {
+	ns := append([]uint32(nil), g.Neighbors(v)...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+func equalAsSets(t *testing.T, a, b *CSR) {
+	t.Helper()
+	if a.N != b.N || a.M() != b.M() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", a.N, a.M(), b.N, b.M())
+	}
+	for v := uint32(0); int(v) < a.N; v++ {
+		na, nb := sortedNeighbors(a, v), sortedNeighbors(b, v)
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d: neighbor sets differ", v)
+			}
+		}
+	}
+}
+
+func TestBuildCSRBaseline(t *testing.T) {
+	el := &EdgeList{N: 4, Edges: []Edge{{0, 1}, {0, 2}, {1, 3}, {3, 0}, {3, 2}}}
+	g := BuildCSR(el, false, pb.Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 0 || g.Degree(3) != 2 {
+		t.Fatalf("degrees wrong: offsets=%v", g.Offsets)
+	}
+	if ns := sortedNeighbors(g, 3); ns[0] != 0 || ns[1] != 2 {
+		t.Fatalf("neighbors of 3 = %v", ns)
+	}
+}
+
+func TestBuildCSRPBMatchesBaseline(t *testing.T) {
+	el := RMAT(10, 8, 42)
+	base := BuildCSR(el, false, pb.Options{})
+	for _, o := range []pb.Options{{}, {NumBins: 4}, {NumBins: 64, Workers: 4}, {Workers: 1, NumBins: 1}} {
+		pbg := BuildCSR(el, true, o)
+		if err := pbg.Validate(); err != nil {
+			t.Fatalf("opts %+v: %v", o, err)
+		}
+		equalAsSets(t, base, pbg)
+	}
+}
+
+func TestDegreeCountPBProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, mRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		m := int(mRaw % 5000)
+		el := Uniform(n, m, seed)
+		a := DegreeCount(el)
+		b := DegreeCountPB(el, pb.Options{NumBins: 8, Workers: 3})
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	off := PrefixSum([]uint32{2, 0, 3})
+	want := []uint32{0, 2, 2, 5}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("PrefixSum = %v", off)
+		}
+	}
+	if got := PrefixSum(nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("PrefixSum(nil) = %v", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	el := Uniform(100, 500, 1)
+	g := BuildCSR(el, false, pb.Options{})
+	bad := *g
+	bad.Neighs = append([]uint32(nil), g.Neighs...)
+	bad.Neighs[0] = 10000
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range neighbor not caught")
+	}
+	bad2 := *g
+	bad2.Offsets = append([]uint32(nil), g.Offsets...)
+	bad2.Offsets[5] = bad2.Offsets[4] + 1<<30
+	if bad2.Validate() == nil {
+		t.Fatal("non-monotone offsets not caught")
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	el := RMAT(8, 8, 7)
+	g := BuildCSR(el, false, pb.Options{})
+	gtt := g.Transpose().Transpose()
+	equalAsSets(t, g, gtt)
+}
+
+func TestTransposeReversesEdges(t *testing.T) {
+	el := &EdgeList{N: 3, Edges: []Edge{{0, 1}, {1, 2}}}
+	g := BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	if gt.Degree(1) != 1 || gt.Neighbors(1)[0] != 0 {
+		t.Fatalf("transpose wrong: %v %v", gt.Offsets, gt.Neighs)
+	}
+}
+
+func TestToEdgeListRoundTrip(t *testing.T) {
+	el := Uniform(50, 300, 9)
+	g := BuildCSR(el, false, pb.Options{})
+	g2 := BuildCSR(g.ToEdgeList(), false, pb.Options{})
+	equalAsSets(t, g, g2)
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	ds := Degrees(RMAT(12, 16, 1))
+	if ds.MaxDeg < 100 {
+		t.Fatalf("R-MAT max degree %d too small for power-law", ds.MaxDeg)
+	}
+	if ds.Top1PctShare < 0.1 {
+		t.Fatalf("R-MAT top-1%% share %.3f too uniform", ds.Top1PctShare)
+	}
+}
+
+func TestUniformIsNotSkewed(t *testing.T) {
+	ds := Degrees(Uniform(4096, 4096*16, 2))
+	if ds.MaxDeg > 64 {
+		t.Fatalf("uniform max degree %d too skewed", ds.MaxDeg)
+	}
+}
+
+func TestGridIsBoundedDegree(t *testing.T) {
+	el := Grid(64, 64, 0.05, 3)
+	ds := Degrees(el)
+	if ds.MaxDeg > 8 {
+		t.Fatalf("grid max degree %d, want <= 8", ds.MaxDeg)
+	}
+	// Lattice must be connected.
+	g := BuildCSR(el, false, pb.Options{})
+	parents := BFS(g, 0)
+	for v, p := range parents {
+		if p == -1 {
+			t.Fatalf("vertex %d unreachable in grid", v)
+		}
+	}
+}
+
+func TestRMATScaleBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for absurd scale")
+		}
+	}()
+	RMAT(40, 16, 1)
+}
+
+func TestStandardInputs(t *testing.T) {
+	ins := StandardInputs(8, 1)
+	if len(ins) != 4 {
+		t.Fatalf("inputs = %d", len(ins))
+	}
+	for _, in := range ins {
+		if in.EL.N == 0 || in.EL.M() == 0 {
+			t.Fatalf("input %s empty", in.Name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := RMAT(8, 4, 99), RMAT(8, 4, 99)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+}
+
+func TestPageRankPullConverges(t *testing.T) {
+	el := RMAT(9, 8, 5)
+	g := BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	deg := DegreeCount(el)
+	scores, iters := PageRankPull(gt, deg, 100, PREps)
+	if iters == 100 {
+		t.Fatal("pull PageRank did not converge in 100 iters")
+	}
+	sum := 0.0
+	for _, s := range scores {
+		if s < 0 {
+			t.Fatal("negative score")
+		}
+		sum += s
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Fatalf("score mass = %v, want ~1", sum)
+	}
+}
+
+func TestPageRankVariantsAgree(t *testing.T) {
+	el := RMAT(9, 8, 5)
+	g := BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	deg := DegreeCount(el)
+	pull, _ := PageRankPull(gt, deg, 50, 0) // fixed 50 iters for comparability
+	push, _ := PageRankPush(g, 50, 0)
+	pbScores, _ := PageRankPB(g, 50, 0, pb.Options{NumBins: 16, Workers: 4})
+	for i := range pull {
+		if d := abs(pull[i] - push[i]); d > 1e-9 {
+			t.Fatalf("pull vs push at %d: %g vs %g", i, pull[i], push[i])
+		}
+		if d := abs(push[i] - pbScores[i]); d > 1e-9 {
+			t.Fatalf("push vs PB at %d: %g vs %g", i, push[i], pbScores[i])
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRadiiMatchesBFSOnGrid(t *testing.T) {
+	// On a small connected graph, the radius estimate from source bit 0
+	// equals BFS depth from that source.
+	el := Grid(16, 16, 0, 1)
+	g := BuildCSR(el, false, pb.Options{})
+	res := Radii(g, 1000)
+	if res.Diameter <= 0 {
+		t.Fatalf("diameter = %d", res.Diameter)
+	}
+	// Grid 16x16 diameter is ~30; sources are spread so estimates are
+	// lower, but must be positive and bounded by the true diameter.
+	if res.Diameter > 30 {
+		t.Fatalf("diameter estimate %d exceeds the true grid diameter", res.Diameter)
+	}
+}
+
+func TestRadiiPBMatchesBaseline(t *testing.T) {
+	el := RMAT(8, 8, 11)
+	g := BuildCSR(el, false, pb.Options{})
+	a := Radii(g, 100)
+	b := RadiiPB(g, 100, pb.Options{NumBins: 8, Workers: 4})
+	if a.Diameter != b.Diameter || a.Rounds != b.Rounds {
+		t.Fatalf("diameter/rounds: (%d,%d) vs (%d,%d)", a.Diameter, a.Rounds, b.Diameter, b.Rounds)
+	}
+	for i := range a.Radii {
+		if a.Radii[i] != b.Radii[i] {
+			t.Fatalf("radii differ at %d: %d vs %d", i, a.Radii[i], b.Radii[i])
+		}
+	}
+}
+
+func TestBFSParents(t *testing.T) {
+	el := &EdgeList{N: 4, Edges: []Edge{{0, 1}, {1, 2}}}
+	g := BuildCSR(el, false, pb.Options{})
+	p := BFS(g, 0)
+	if p[0] != 0 || p[1] != 0 || p[2] != 1 || p[3] != -1 {
+		t.Fatalf("parents = %v", p)
+	}
+}
+
+func TestDegreesStatsSanity(t *testing.T) {
+	ds := Degrees(&EdgeList{N: 0})
+	if ds.N != 0 {
+		t.Fatal("empty edge list stats")
+	}
+	r := stats.NewRand(1)
+	_ = r
+	ds = Degrees(&EdgeList{N: 2, Edges: []Edge{{0, 1}, {0, 0}}})
+	if ds.MaxDeg != 2 || ds.ZeroDegFrac != 0.5 {
+		t.Fatalf("stats = %+v", ds)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math"
+
+	"cobra/internal/pb"
+)
+
+// PageRank parameters shared by all variants.
+const (
+	PRDamping = 0.85
+	PREps     = 1e-4
+)
+
+// PageRankPull runs pull-style PageRank (the GAP reference shape) for
+// at most maxIters iterations or until the L1 delta falls below eps.
+// It needs the transpose (incoming-edge) graph gt. Returns the scores
+// and the iteration count.
+//
+// Pull PageRank performs irregular *reads* of contributions; the
+// push/PB variants below turn the irregularity into updates.
+func PageRankPull(gt *CSR, outDeg []uint32, maxIters int, eps float64) ([]float64, int) {
+	n := gt.N
+	scores := make([]float64, n)
+	contrib := make([]float64, n)
+	base := (1 - PRDamping) / float64(n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		for v := range contrib {
+			if d := outDeg[v]; d > 0 {
+				contrib[v] = scores[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		delta := 0.0
+		for v := uint32(0); int(v) < n; v++ {
+			sum := 0.0
+			for _, u := range gt.Neighbors(v) {
+				sum += contrib[u]
+			}
+			next := base + PRDamping*sum
+			delta += math.Abs(next - scores[v])
+			scores[v] = next
+		}
+		if delta < eps {
+			iters++
+			break
+		}
+	}
+	return scores, iters
+}
+
+// PageRankPush runs push-style PageRank on the forward graph: every
+// vertex scatters its contribution to its out-neighbors. The scatters
+// are irregular commutative updates over the full vertex range — the
+// access pattern of Figure 3's unoptimized execution.
+func PageRankPush(g *CSR, maxIters int, eps float64) ([]float64, int) {
+	n := g.N
+	scores := make([]float64, n)
+	incoming := make([]float64, n)
+	base := (1 - PRDamping) / float64(n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		for i := range incoming {
+			incoming[i] = 0
+		}
+		for v := uint32(0); int(v) < n; v++ {
+			neighs := g.Neighbors(v)
+			if len(neighs) == 0 {
+				continue
+			}
+			c := scores[v] / float64(len(neighs))
+			for _, u := range neighs {
+				incoming[u] += c // irregular update
+			}
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			next := base + PRDamping*incoming[v]
+			delta += math.Abs(next - scores[v])
+			scores[v] = next
+		}
+		if delta < eps {
+			iters++
+			break
+		}
+	}
+	return scores, iters
+}
+
+// PageRankPB is the propagation-blocked push variant (Figure 3's PB
+// execution): Binning streams edges emitting (dst, contribution)
+// tuples; Accumulate applies each bin's updates with the destination
+// range in cache.
+func PageRankPB(g *CSR, maxIters int, eps float64, o pb.Options) ([]float64, int) {
+	n := g.N
+	scores := make([]float64, n)
+	incoming := make([]float64, n)
+	base := (1 - PRDamping) / float64(n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		for i := range incoming {
+			incoming[i] = 0
+		}
+		pb.Run(n, n,
+			func(b, e int, emit func(uint32, float64)) {
+				for v := b; v < e; v++ {
+					neighs := g.Neighbors(uint32(v))
+					if len(neighs) == 0 {
+						continue
+					}
+					c := scores[v] / float64(len(neighs))
+					for _, u := range neighs {
+						emit(u, c)
+					}
+				}
+			},
+			func(u uint32, c float64) { incoming[u] += c },
+			o)
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			next := base + PRDamping*incoming[v]
+			delta += math.Abs(next - scores[v])
+			scores[v] = next
+		}
+		if delta < eps {
+			iters++
+			break
+		}
+	}
+	return scores, iters
+}

@@ -1,0 +1,36 @@
+package isort
+
+import (
+	"testing"
+
+	"cobra/internal/pb"
+)
+
+func BenchmarkSortComparison(b *testing.B) {
+	src := randKeys(1, 1<<20, 1<<24)
+	buf := make([]uint32, len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SortComparison(buf)
+	}
+}
+
+func BenchmarkCountingSort(b *testing.B) {
+	keys := randKeys(1, 1<<20, 1<<22)
+	b.SetBytes(int64(4 * len(keys)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountingSort(keys, 1<<22)
+	}
+}
+
+func BenchmarkCountingSortPB(b *testing.B) {
+	keys := randKeys(1, 1<<20, 1<<22)
+	b.SetBytes(int64(4 * len(keys)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountingSortPB(keys, 1<<22, pb.Options{})
+	}
+}

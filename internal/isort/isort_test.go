@@ -1,0 +1,117 @@
+package isort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/pb"
+	"cobra/internal/stats"
+)
+
+func randKeys(seed uint64, n, maxKey int) []uint32 {
+	r := stats.NewRand(seed)
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(r.Intn(maxKey))
+	}
+	return keys
+}
+
+func TestSortComparison(t *testing.T) {
+	keys := randKeys(1, 10000, 1<<20)
+	SortComparison(keys)
+	if !IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortComparisonParallelMatches(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1 << 14, 100001} {
+		a := randKeys(2, n, 1<<24)
+		b := append([]uint32(nil), a...)
+		SortComparison(a)
+		SortComparisonParallel(b)
+		if !IsSorted(b) {
+			t.Fatalf("n=%d: parallel output not sorted", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: outputs differ at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCountingSortMatchesComparison(t *testing.T) {
+	const maxKey = 4096
+	keys := randKeys(3, 50000, maxKey)
+	want := append([]uint32(nil), keys...)
+	SortComparison(want)
+	got := CountingSort(keys, maxKey)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountingSortPBProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, maxRaw uint16, bins uint8, workers uint8) bool {
+		n := int(nRaw % 20000)
+		maxKey := int(maxRaw%4000) + 1
+		keys := randKeys(seed, n, maxKey)
+		o := pb.Options{NumBins: int(bins % 33), Workers: int(workers%6) + 1}
+		got := CountingSortPB(keys, maxKey, o)
+		if len(got) != n || !IsSorted(got) {
+			return false
+		}
+		// Same multiset.
+		cnt := make(map[uint32]int)
+		for _, k := range keys {
+			cnt[k]++
+		}
+		for _, k := range got {
+			cnt[k]--
+		}
+		for _, c := range cnt {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingSortEmpty(t *testing.T) {
+	if out := CountingSort(nil, 10); len(out) != 0 {
+		t.Fatal("phantom output")
+	}
+	if out := CountingSortPB(nil, 10, pb.Options{}); len(out) != 0 {
+		t.Fatal("phantom PB output")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]uint32{1, 2, 2, 3}) || IsSorted([]uint32{2, 1}) || !IsSorted(nil) {
+		t.Fatal("IsSorted wrong")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	out := make([]uint32, 7)
+	merge([]uint32{1, 4, 6}, []uint32{2, 3, 5, 7}, out)
+	for i, w := range []uint32{1, 2, 3, 4, 5, 6, 7} {
+		if out[i] != w {
+			t.Fatalf("merge = %v", out)
+		}
+	}
+	// Degenerate sides.
+	out2 := make([]uint32, 2)
+	merge(nil, []uint32{1, 2}, out2)
+	if out2[0] != 1 || out2[1] != 2 {
+		t.Fatalf("merge with empty left = %v", out2)
+	}
+}

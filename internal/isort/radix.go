@@ -1,0 +1,139 @@
+package isort
+
+// Radix sorting: the paper names PB "an instance of radix partitioning"
+// (§IV footnote, citing [54]), and prior work [54], [65] showed radix
+// partitioning's performance cliffs when the partition count outgrows
+// the cache — the same cliff COBRA removes for PB. This file provides
+// the radix machinery: an LSD radix sort for uint64 keys and a
+// single-pass MSD partitioner with software coalescing buffers, the
+// direct software analogue of PB's Binning phase.
+
+// RadixSortU64 sorts keys ascending with an LSD radix sort over
+// 8-bit digits (8 passes, stable within each pass).
+func RadixSortU64(keys []uint64) {
+	if len(keys) < 2 {
+		return
+	}
+	buf := make([]uint64, len(keys))
+	src, dst := keys, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [256]uint32
+		allZero := true
+		for _, k := range src {
+			d := (k >> shift) & 0xff
+			counts[d]++
+			if d != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			continue // digit column empty; skip the scatter pass
+		}
+		var sum uint32
+		var cursor [256]uint32
+		for i, c := range counts[:] {
+			cursor[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := (k >> shift) & 0xff
+			dst[cursor[d]] = k
+			cursor[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// Partitioned is the result of one MSD radix partitioning pass:
+// CSR-style offsets into a permuted copy of the input.
+type Partitioned struct {
+	Bits    uint     // partition on the top Bits bits below `width`
+	Offsets []uint32 // len 2^Bits + 1
+	Keys    []uint32 // permuted input, grouped by partition
+}
+
+// NumPartitions returns the partition count.
+func (p *Partitioned) NumPartitions() int { return len(p.Offsets) - 1 }
+
+// Partition returns partition i's keys (do not mutate).
+func (p *Partitioned) Partition(i int) []uint32 {
+	return p.Keys[p.Offsets[i]:p.Offsets[i+1]]
+}
+
+// RadixPartition splits keys into 2^bits partitions by their top bits
+// (below keyBits significant bits), buffering writes through
+// cacheline-sized software coalescing buffers exactly like PB's Binning
+// phase (16 keys per buffer = 64 B). Stable within partitions.
+func RadixPartition(keys []uint32, keyBits, bits uint) *Partitioned {
+	if bits == 0 || bits > 24 {
+		panic("isort: partition bits must be in [1, 24]")
+	}
+	if keyBits < bits {
+		keyBits = bits
+	}
+	shift := keyBits - bits
+	nPart := 1 << bits
+	counts := make([]uint32, nPart)
+	for _, k := range keys {
+		counts[k>>shift&uint32(nPart-1)]++
+	}
+	offsets := make([]uint32, nPart+1)
+	var sum uint32
+	for i, c := range counts {
+		offsets[i] = sum
+		sum += c
+	}
+	offsets[nPart] = sum
+
+	out := make([]uint32, len(keys))
+	cursor := make([]uint32, nPart)
+	copy(cursor, offsets[:nPart])
+
+	// Software C-Buffers: 16 keys per partition, flushed in bulk.
+	const bufCap = 16
+	cbuf := make([]uint32, nPart*bufCap)
+	fill := make([]uint8, nPart)
+	flush := func(p uint32) {
+		n := uint32(fill[p])
+		copy(out[cursor[p]:cursor[p]+n], cbuf[p*bufCap:p*bufCap+n])
+		cursor[p] += n
+		fill[p] = 0
+	}
+	for _, k := range keys {
+		p := k >> shift & uint32(nPart-1)
+		cbuf[p*bufCap+uint32(fill[p])] = k
+		fill[p]++
+		if fill[p] == bufCap {
+			flush(p)
+		}
+	}
+	for p := 0; p < nPart; p++ {
+		if fill[p] > 0 {
+			flush(uint32(p))
+		}
+	}
+	return &Partitioned{Bits: bits, Offsets: offsets, Keys: out}
+}
+
+// RadixSortPB sorts uint32 keys by MSD-partitioning them into
+// cache-sized groups (the PB analogy: Binning) and then sorting each
+// partition independently (Accumulate with cache-resident working sets).
+func RadixSortPB(keys []uint32, keyBits uint) []uint32 {
+	if len(keys) == 0 {
+		return nil
+	}
+	// Pick a partition count so each partition's expected size fits L2:
+	// ~64 Ki keys per partition.
+	bits := uint(1)
+	for len(keys)>>bits > 64<<10 && bits < 12 {
+		bits++
+	}
+	part := RadixPartition(keys, keyBits, bits)
+	for i := 0; i < part.NumPartitions(); i++ {
+		SortComparison(part.Partition(i))
+	}
+	return part.Keys
+}

@@ -1,0 +1,124 @@
+package isort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/stats"
+)
+
+func TestRadixSortU64(t *testing.T) {
+	r := stats.NewRand(1)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	RadixSortU64(keys)
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("differs at %d", i)
+		}
+	}
+}
+
+func TestRadixSortU64SmallAndEdge(t *testing.T) {
+	RadixSortU64(nil)
+	one := []uint64{5}
+	RadixSortU64(one)
+	if one[0] != 5 {
+		t.Fatal("singleton corrupted")
+	}
+	dup := []uint64{3, 3, 3, 1, 1}
+	RadixSortU64(dup)
+	for i, w := range []uint64{1, 1, 3, 3, 3} {
+		if dup[i] != w {
+			t.Fatalf("dup = %v", dup)
+		}
+	}
+}
+
+func TestRadixSortU64Property(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw % 3000)
+		r := stats.NewRand(seed)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64() >> uint(r.Intn(60)) // varied magnitudes
+		}
+		RadixSortU64(keys)
+		for i := 1; i < n; i++ {
+			if keys[i] < keys[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixPartitionIsStablePartition(t *testing.T) {
+	keys := randKeys(3, 40000, 1<<20)
+	const keyBits, bits = 20, 6
+	p := RadixPartition(keys, keyBits, bits)
+	if p.NumPartitions() != 1<<bits {
+		t.Fatalf("partitions = %d", p.NumPartitions())
+	}
+	if int(p.Offsets[p.NumPartitions()]) != len(keys) {
+		t.Fatal("offsets do not cover input")
+	}
+	// Every key in partition i has top bits == i; stability holds.
+	seen := 0
+	for i := 0; i < p.NumPartitions(); i++ {
+		part := p.Partition(i)
+		var last = -1
+		ptr := 0
+		for _, k := range keys {
+			if int(k>>(keyBits-bits)) == i {
+				if ptr >= len(part) || part[ptr] != k {
+					t.Fatalf("partition %d not stable at %d", i, ptr)
+				}
+				ptr++
+			}
+			_ = last
+		}
+		if ptr != len(part) {
+			t.Fatalf("partition %d has %d extra keys", i, len(part)-ptr)
+		}
+		seen += len(part)
+	}
+	if seen != len(keys) {
+		t.Fatalf("partitions hold %d of %d keys", seen, len(keys))
+	}
+}
+
+func TestRadixPartitionBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bits=0")
+		}
+	}()
+	RadixPartition([]uint32{1}, 10, 0)
+}
+
+func TestRadixSortPBMatchesComparison(t *testing.T) {
+	keys := randKeys(5, 300000, 1<<24)
+	want := append([]uint32(nil), keys...)
+	SortComparison(want)
+	got := RadixSortPB(keys, 24)
+	if len(got) != len(want) {
+		t.Fatal("length changed")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if RadixSortPB(nil, 10) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cobra/internal/graph"
+	"cobra/internal/pb"
+	"cobra/internal/sim"
+	"cobra/internal/sparse"
+	"cobra/internal/stats"
+)
+
+// captureApplier wraps an app so the test can inspect the functional
+// result produced during a simulated run.
+func captureApplier(app *sim.App) *sim.Applier {
+	var got sim.Applier
+	orig := app.NewApplier
+	app.NewApplier = func(m *sim.Mach) sim.Applier {
+		got = orig(m)
+		return got
+	}
+	return &got
+}
+
+// runAllSchemes exercises Baseline, PB-SW, and COBRA on the app,
+// validating the functional result with check after each run.
+func runAllSchemes(t *testing.T, app *sim.App, got *sim.Applier, check func(name string)) {
+	t.Helper()
+	arch := sim.DefaultArch()
+	if _, err := sim.RunBaseline(app, arch); err != nil {
+		t.Fatal(err)
+	}
+	check("baseline")
+	if _, err := sim.RunPBSW(app, 64, arch); err != nil {
+		t.Fatal(err)
+	}
+	check("pb-sw")
+	if _, err := sim.RunCOBRA(app, sim.CobraOpt{}, arch); err != nil {
+		t.Fatal(err)
+	}
+	check("cobra")
+}
+
+func testGraph() *graph.EdgeList { return graph.RMAT(12, 8, 7) }
+
+func TestDegreeCountAllSchemes(t *testing.T) {
+	el := testGraph()
+	app := DegreeCount(el, "KRON")
+	got := captureApplier(app)
+	want := graph.DegreeCount(el)
+	runAllSchemes(t, app, got, func(name string) {
+		cnt := DegCounts(*got)
+		if cnt == nil {
+			t.Fatalf("%s: no counts", name)
+		}
+		for i := range want {
+			if cnt[i] != want[i] {
+				t.Fatalf("%s: deg[%d] = %d, want %d", name, i, cnt[i], want[i])
+			}
+		}
+	})
+}
+
+func TestNeighborPopulateAllSchemes(t *testing.T) {
+	el := testGraph()
+	app := NeighborPopulate(el, "KRON")
+	got := captureApplier(app)
+	ref := graph.BuildCSR(el, false, pb.Options{})
+	runAllSchemes(t, app, got, func(name string) {
+		neighs := Neighs(*got)
+		if len(neighs) != ref.M() {
+			t.Fatalf("%s: %d neighbors, want %d", name, len(neighs), ref.M())
+		}
+		// Neighbor order within a vertex is unspecified; compare sets.
+		for v := uint32(0); int(v) < ref.N; v++ {
+			lo, hi := ref.Offsets[v], ref.Offsets[v+1]
+			a := append([]uint32(nil), neighs[lo:hi]...)
+			b := append([]uint32(nil), ref.Neighs[lo:hi]...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d neighbor sets differ", name, v)
+				}
+			}
+		}
+	})
+}
+
+func TestPageRankAllSchemes(t *testing.T) {
+	el := testGraph()
+	g := graph.BuildCSR(el, false, pb.Options{})
+	app := PageRank(g, "KRON")
+	got := captureApplier(app)
+	// Reference: one push round of contributions.
+	want := make([]float64, g.N)
+	app.ForEach(func(k uint32, v uint64, _ bool) {
+		want[k] += math.Float64frombits(v)
+	})
+	runAllSchemes(t, app, got, func(name string) {
+		sums := PageRankSums(*got)
+		for i := range want {
+			if math.Abs(sums[i]-want[i]) > 1e-12 {
+				t.Fatalf("%s: sums[%d] = %g, want %g", name, i, sums[i], want[i])
+			}
+		}
+	})
+}
+
+func TestPageRankGroupBranches(t *testing.T) {
+	// Power-law neighbor loops must produce measurable branch misses in
+	// the baseline (footnote 3 of the paper).
+	el := testGraph()
+	g := graph.BuildCSR(el, false, pb.Options{})
+	app := PageRank(g, "KRON")
+	m, err := sim.RunBaseline(app, sim.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Ctr.BranchMissRate(); r < 0.005 {
+		t.Fatalf("power-law boundary branches mispredicted only %.4f; expected > 0.5%%", r)
+	}
+}
+
+func TestRadiiApp(t *testing.T) {
+	el := testGraph()
+	g := graph.BuildCSR(el, false, pb.Options{})
+	app := Radii(g, "KRON")
+	if app.NumUpdates == 0 {
+		t.Fatal("empty Radii frontier")
+	}
+	if app.Reduce == nil || app.Reduce(0b01, 0b10) != 0b11 {
+		t.Fatal("Radii reducer must be bitwise OR")
+	}
+	got := captureApplier(app)
+	// Reference masks after applying the emitted updates.
+	ref := make(map[uint32]uint64)
+	app.ForEach(func(k uint32, v uint64, _ bool) { ref[k] |= v })
+	if _, err := sim.RunCOBRA(app, sim.CobraOpt{}, sim.DefaultArch()); err != nil {
+		t.Fatal(err)
+	}
+	ra := (*got).(*radiiApplier)
+	for k, m := range ref {
+		if ra.next[k]&m != m {
+			t.Fatalf("mask for %d missing bits", k)
+		}
+	}
+}
+
+func TestIntSortAllSchemes(t *testing.T) {
+	app := IntSort(20000, 1<<12, 3, "BIGKEY")
+	got := captureApplier(app)
+	runAllSchemes(t, app, got, func(name string) {
+		out := SortedOutput(*got)
+		if len(out) != 20000 {
+			t.Fatalf("%s: output length %d", name, len(out))
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				t.Fatalf("%s: not sorted at %d", name, i)
+			}
+		}
+	})
+}
+
+func TestSpMVAllSchemes(t *testing.T) {
+	m := sparse.RandomSparse(2000, 2048, 6, 5)
+	app := SpMV(m, "RAND")
+	got := captureApplier(app)
+	want := make([]float64, 2048)
+	app.ForEach(func(k uint32, v uint64, _ bool) { want[k] += math.Float64frombits(v) })
+	runAllSchemes(t, app, got, func(name string) {
+		y := SpMVResult(*got)
+		for i := range want {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: y[%d] = %g, want %g", name, i, y[i], want[i])
+			}
+		}
+	})
+}
+
+func TestTransposeAllSchemes(t *testing.T) {
+	m := sparse.SkewedSparse(1500, 1024, 5, 9)
+	app := Transpose(m, "SKEW")
+	got := captureApplier(app)
+	ref := sparse.Transpose(m)
+	runAllSchemes(t, app, got, func(name string) {
+		cols := TransposeCols(*got)
+		if len(cols) != ref.NNZ() {
+			t.Fatalf("%s: nnz %d, want %d", name, len(cols), ref.NNZ())
+		}
+		// Row sets per transposed row must match (order unspecified).
+		for i := 0; i < ref.Rows; i++ {
+			lo, hi := ref.RowPtr[i], ref.RowPtr[i+1]
+			a := append([]uint32(nil), cols[lo:hi]...)
+			b := append([]uint32(nil), ref.ColIdx[lo:hi]...)
+			sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("%s: row %d differs", name, i)
+				}
+			}
+		}
+	})
+}
+
+func TestPINVAllSchemes(t *testing.T) {
+	perm := stats.NewRand(11).Perm(1 << 13)
+	app := PINV(perm, "PERM")
+	got := captureApplier(app)
+	runAllSchemes(t, app, got, func(name string) {
+		inv := PINVResult(*got)
+		for i, p := range perm {
+			if inv[p] != uint32(i) {
+				t.Fatalf("%s: inv[%d] = %d, want %d", name, p, inv[p], i)
+			}
+		}
+	})
+}
+
+func TestSymPermApp(t *testing.T) {
+	m := sparse.SymmetricUpper(800, 4, 13)
+	perm := stats.NewRand(17).Perm(800)
+	app := SymPerm(m, perm, "RAND")
+	if app.NumUpdates == 0 || app.NumUpdates > m.NNZ() {
+		t.Fatalf("SymPerm updates = %d of %d nnz", app.NumUpdates, m.NNZ())
+	}
+	// Stream cost reflects skipped lower-triangle entries.
+	if app.StreamBytes < 12 {
+		t.Fatalf("StreamBytes = %d, want >= 12", app.StreamBytes)
+	}
+	ref := sparse.SymPerm(m, perm)
+	got := captureApplier(app)
+	if _, err := sim.RunPBSW(app, 64, sim.DefaultArch()); err != nil {
+		t.Fatal(err)
+	}
+	cols := TransposeCols(*got)
+	if len(cols) != ref.NNZ() {
+		t.Fatalf("nnz %d, want %d", len(cols), ref.NNZ())
+	}
+	for i := 0; i < ref.Rows; i++ {
+		lo, hi := ref.RowPtr[i], ref.RowPtr[i+1]
+		a := append([]uint32(nil), cols[lo:hi]...)
+		b := append([]uint32(nil), ref.ColIdx[lo:hi]...)
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestCommutativityDeclarations(t *testing.T) {
+	el := graph.Uniform(256, 1024, 1)
+	g := graph.BuildCSR(el, false, pb.Options{})
+	m := sparse.RandomSparse(128, 128, 4, 2)
+	perm := stats.NewRand(3).Perm(128)
+	comm := map[string]bool{
+		"DegreeCount": true, "PageRank": true, "Radii": true, "SpMV": true,
+		"NeighborPopulate": false, "IntSort": false, "Transpose": false,
+		"PINV": false, "SymPerm": false,
+	}
+	apps := []*sim.App{
+		DegreeCount(el, "t"), NeighborPopulate(el, "t"), PageRank(g, "t"), Radii(g, "t"),
+		IntSort(1000, 256, 4, "t"), SpMV(m, "t"), Transpose(m, "t"),
+		PINV(perm, "t"), SymPerm(m, perm, "t"),
+	}
+	for _, app := range apps {
+		want, ok := comm[app.Name]
+		if !ok {
+			t.Fatalf("unknown app %s", app.Name)
+		}
+		if app.Commutative != want {
+			t.Fatalf("%s commutativity = %v, want %v", app.Name, app.Commutative, want)
+		}
+		if err := app.Validate(); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		// Non-commutative apps must never carry a reducer.
+		if !app.Commutative && app.Reduce != nil {
+			t.Fatalf("%s: non-commutative app has a reducer", app.Name)
+		}
+	}
+}
+
+func TestTupleSizesMatchPaper(t *testing.T) {
+	el := graph.Uniform(256, 1024, 1)
+	g := graph.BuildCSR(el, false, pb.Options{})
+	m := sparse.RandomSparse(128, 128, 4, 2)
+	perm := stats.NewRand(3).Perm(128)
+	// Paper §VI: 4B for Degree-Counting and Integer Sort, 8B for
+	// Neighbor-Populate and Pagerank, 16B for the rest.
+	want := map[string]int{
+		"DegreeCount": 4, "IntSort": 4,
+		"NeighborPopulate": 8, "PageRank": 8,
+		"Radii": 16, "SpMV": 16, "Transpose": 16, "PINV": 16, "SymPerm": 16,
+	}
+	for _, app := range []*sim.App{
+		DegreeCount(el, "t"), NeighborPopulate(el, "t"), PageRank(g, "t"), Radii(g, "t"),
+		IntSort(1000, 256, 4, "t"), SpMV(m, "t"), Transpose(m, "t"),
+		PINV(perm, "t"), SymPerm(m, perm, "t"),
+	} {
+		if app.TupleBytes != want[app.Name] {
+			t.Errorf("%s tuple size = %d, want %d", app.Name, app.TupleBytes, want[app.Name])
+		}
+	}
+}

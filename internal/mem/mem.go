@@ -1,0 +1,362 @@
+// Package mem composes cache levels into the three-level hierarchy of
+// the simulated machine (Table II of the paper): private L1 and L2, a
+// NUCA LLC slice local to the core, and DRAM. It adds the L2 stream
+// prefetcher, non-temporal store handling with write-combining, and
+// DRAM traffic accounting.
+//
+// The hierarchy is functional (which level serviced an access, what
+// traffic moved); cycle costs are attached by package cpu using the
+// Level returned from each access.
+package mem
+
+import (
+	"fmt"
+
+	"cobra/internal/cache"
+)
+
+// Level identifies which part of the hierarchy serviced an access.
+type Level int
+
+// Hierarchy levels, nearest first.
+const (
+	L1 Level = iota
+	L2
+	LLC
+	DRAM
+)
+
+// String returns the level's display name.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case DRAM:
+		return "DRAM"
+	}
+	return "unknown"
+}
+
+// Latencies gives load-to-use cycles per level (Table II: 3/8/21 and
+// 80 ns DRAM ≈ 212 cycles at 2.66 GHz).
+type Latencies struct {
+	L1, L2, LLC, DRAM uint32
+}
+
+// DefaultLatencies mirrors Table II.
+func DefaultLatencies() Latencies { return Latencies{L1: 3, L2: 8, LLC: 21, DRAM: 212} }
+
+// Of returns the latency for servicing level l.
+func (lat Latencies) Of(l Level) uint32 {
+	switch l {
+	case L1:
+		return lat.L1
+	case L2:
+		return lat.L2
+	case LLC:
+		return lat.LLC
+	default:
+		return lat.DRAM
+	}
+}
+
+// Config describes the per-core hierarchy slice.
+type Config struct {
+	L1, L2, LLC cache.Config
+	Lat         Latencies
+	// Prefetch configures the L2 stream prefetcher; Degree 0 disables it.
+	PrefetchStreams int
+	PrefetchDegree  int
+	// NUCA, when enabled, charges NoC hop latency for LLC accesses that
+	// land on remote banks of the shared, address-interleaved LLC
+	// (Table II: 4x4 mesh, 2 cycles/hop). Off by default: the base
+	// model treats the LLC as the core-local NUCA slice, which is how
+	// COBRA pins its C-Buffers; NUCA mode sharpens the BASELINE's cost
+	// of scattering over the whole shared LLC.
+	NUCA NUCAConfig
+}
+
+// NUCAConfig describes the mesh the shared LLC banks sit on.
+type NUCAConfig struct {
+	Enable    bool
+	MeshDim   int // MeshDim x MeshDim banks (Table II: 4)
+	HopCycles int // per-hop latency (Table II: 2)
+	CoreX     int // this core's mesh position
+	CoreY     int
+}
+
+// DefaultNUCA mirrors Table II with the core at a central position.
+func DefaultNUCA() NUCAConfig {
+	return NUCAConfig{Enable: true, MeshDim: 4, HopCycles: 2, CoreX: 1, CoreY: 1}
+}
+
+// LLCExtraCycles returns the round-trip NoC latency for the bank
+// holding addr (0 when NUCA modeling is off or the bank is local).
+func (h *Hierarchy) LLCExtraCycles(addr uint64) uint32 {
+	n := h.cfg.NUCA
+	if !n.Enable || n.MeshDim <= 1 {
+		return 0
+	}
+	bank := int(addr>>cache.LineBits) % (n.MeshDim * n.MeshDim)
+	bx, by := bank%n.MeshDim, bank/n.MeshDim
+	dist := abs(bx-n.CoreX) + abs(by-n.CoreY)
+	return uint32(2 * dist * n.HopCycles) // request + response traversal
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DefaultConfig mirrors Table II: 32 KB/8-way Bit-PLRU L1, 256 KB/8-way
+// Bit-PLRU L2, 2 MB/16-way DRRIP LLC slice (the core-local NUCA bank).
+func DefaultConfig() Config {
+	return Config{
+		L1:              cache.Config{Name: "L1", SizeB: 32 << 10, Ways: 8, Policy: cache.BitPLRU},
+		L2:              cache.Config{Name: "L2", SizeB: 256 << 10, Ways: 8, Policy: cache.BitPLRU},
+		LLC:             cache.Config{Name: "LLC", SizeB: 2 << 20, Ways: 16, Policy: cache.DRRIP},
+		Lat:             DefaultLatencies(),
+		PrefetchStreams: 16,
+		PrefetchDegree:  4,
+	}
+}
+
+// Traffic counts DRAM transfers in cache lines.
+type Traffic struct {
+	ReadLines     uint64 // demand + prefetch fills from DRAM
+	WriteLines    uint64 // LLC writebacks + non-temporal stores
+	PrefetchLines uint64 // subset of ReadLines initiated by the prefetcher
+}
+
+// Bytes returns total DRAM bytes moved.
+func (t Traffic) Bytes() uint64 { return (t.ReadLines + t.WriteLines) * cache.LineSize }
+
+// Hierarchy is one core's view of the memory system.
+type Hierarchy struct {
+	cfg Config
+
+	L1c  *cache.Cache
+	L2c  *cache.Cache
+	LLCc *cache.Cache
+
+	pf wcAndPf
+
+	DRAMTraffic Traffic
+}
+
+// wcAndPf bundles the prefetcher stream table and the non-temporal
+// write-combining buffer state.
+type wcAndPf struct {
+	streams []stream
+	clock   uint64
+	degree  int
+
+	// Non-temporal store write-combining: last few line addresses seen,
+	// so a burst of NT stores to one line costs one DRAM write.
+	wcLines [4]uint64
+	wcValid [4]bool
+	wcNext  int
+}
+
+type stream struct {
+	lastLine uint64
+	dir      int64 // +1 or -1
+	conf     int
+	lastUse  uint64
+	valid    bool
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		L1c:  cache.New(cfg.L1),
+		L2c:  cache.New(cfg.L2),
+		LLCc: cache.New(cfg.LLC),
+	}
+	h.pf.streams = make([]stream, cfg.PrefetchStreams)
+	h.pf.degree = cfg.PrefetchDegree
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Load performs a demand load and returns the servicing level.
+func (h *Hierarchy) Load(addr uint64) Level { return h.access(addr, false) }
+
+// Store performs a demand store (write-allocate) and returns the level
+// that serviced the fill (L1 when the line was already resident).
+func (h *Hierarchy) Store(addr uint64) Level { return h.access(addr, true) }
+
+// StoreNT performs a non-temporal store: caches are updated only if the
+// line is already resident; otherwise the write bypasses the hierarchy
+// and write-combines to DRAM. Returns the level charged (L1 when it hit
+// a resident line, DRAM otherwise).
+func (h *Hierarchy) StoreNT(addr uint64) Level {
+	if r := h.L1c.WriteNT(addr); r.Hit {
+		return L1
+	}
+	if r := h.L2c.WriteNT(addr); r.Hit {
+		return L2
+	}
+	if r := h.LLCc.WriteNT(addr); r.Hit {
+		return LLC
+	}
+	h.writeCombine(addr)
+	return DRAM
+}
+
+// WriteLineDirect models a full-line DRAM write that bypasses the cache
+// hierarchy entirely (COBRA's LLC C-Buffer eviction writing a line-sized
+// burst of tuples to an in-memory bin). lines counts 64 B units.
+func (h *Hierarchy) WriteLineDirect(lines uint64) { h.DRAMTraffic.WriteLines += lines }
+
+// ReadLineDirect models a full-line DRAM read bypassing the caches.
+func (h *Hierarchy) ReadLineDirect(lines uint64) { h.DRAMTraffic.ReadLines += lines }
+
+func (h *Hierarchy) access(addr uint64, write bool) Level {
+	if r := h.L1c.Access(addr, write); r.Hit {
+		return L1
+	} else if r.WroteBack {
+		h.installWriteback(h.L2c, r.VictimAddr, LLC)
+	}
+	// L1 miss: probe L2 (prefetcher observes the L1-miss stream).
+	h.observeStream(addr)
+	if r := h.L2c.Access(addr, false); r.Hit {
+		return L1fillFrom(L2)
+	} else if r.WroteBack {
+		h.installWriteback(h.LLCc, r.VictimAddr, DRAM)
+	}
+	if r := h.LLCc.Access(addr, false); r.Hit {
+		return L1fillFrom(LLC)
+	} else if r.WroteBack {
+		h.DRAMTraffic.WriteLines++
+	}
+	h.DRAMTraffic.ReadLines++
+	return DRAM
+}
+
+// L1fillFrom exists to make the control flow above read naturally; the
+// fill into upper levels has already happened via Access side effects
+// conceptually (we model upper-level fills implicitly: the line was
+// installed in L1 by the initial Access call's miss path).
+func L1fillFrom(l Level) Level { return l }
+
+// installWriteback installs a dirty victim from level i into level i+1.
+// If that displaces another dirty line, the cascade continues (next ==
+// DRAM means count traffic).
+func (h *Hierarchy) installWriteback(c *cache.Cache, victim uint64, next Level) {
+	r := c.Access(victim, true) // write-allocate the writeback
+	// Undo the demand-stat pollution: writeback installs are not demand
+	// accesses from the core's perspective.
+	if r.Hit {
+		c.Stats.Hits--
+	} else {
+		c.Stats.Misses--
+		c.Stats.Fills--
+	}
+	if r.WroteBack {
+		if next == DRAM {
+			h.DRAMTraffic.WriteLines++
+		} else {
+			h.DRAMTraffic.WriteLines++ // LLC victim of an L2 writeback cascade
+		}
+	}
+}
+
+func (h *Hierarchy) writeCombine(addr uint64) {
+	line := addr &^ uint64(cache.LineSize-1)
+	for i := range h.pf.wcLines {
+		if h.pf.wcValid[i] && h.pf.wcLines[i] == line {
+			return // combined into an open WC entry
+		}
+	}
+	h.pf.wcLines[h.pf.wcNext] = line
+	h.pf.wcValid[h.pf.wcNext] = true
+	h.pf.wcNext = (h.pf.wcNext + 1) % len(h.pf.wcLines)
+	h.DRAMTraffic.WriteLines++
+}
+
+// observeStream feeds the L2 stream prefetcher with the L1-miss stream.
+// On a detected ascending or descending stream it prefetches the next
+// `degree` lines into L2 (and LLC if absent), counting DRAM traffic for
+// lines not already on chip.
+func (h *Hierarchy) observeStream(addr uint64) {
+	if h.pf.degree == 0 || len(h.pf.streams) == 0 {
+		return
+	}
+	line := addr >> cache.LineBits
+	h.pf.clock++
+	best := -1
+	for i := range h.pf.streams {
+		s := &h.pf.streams[i]
+		if !s.valid {
+			continue
+		}
+		if line == s.lastLine+uint64(s.dir) || line == s.lastLine {
+			if line != s.lastLine {
+				s.conf++
+				s.lastLine = line
+			}
+			s.lastUse = h.pf.clock
+			if s.conf >= 2 {
+				h.issuePrefetches(line, s.dir)
+			}
+			return
+		}
+		if line == s.lastLine-uint64(s.dir) { // direction flip candidate
+			s.dir = -s.dir
+			s.conf = 1
+			s.lastLine = line
+			s.lastUse = h.pf.clock
+			return
+		}
+		if best < 0 || s.lastUse < h.pf.streams[best].lastUse {
+			best = i
+		}
+	}
+	// Allocate a new stream entry (reuse invalid or LRU slot).
+	for i := range h.pf.streams {
+		if !h.pf.streams[i].valid {
+			best = i
+			break
+		}
+	}
+	h.pf.streams[best] = stream{lastLine: line, dir: 1, conf: 0, lastUse: h.pf.clock, valid: true}
+}
+
+func (h *Hierarchy) issuePrefetches(line uint64, dir int64) {
+	for k := 1; k <= h.pf.degree; k++ {
+		next := line + uint64(int64(k)*dir)
+		addr := next << cache.LineBits
+		if h.L2c.Probe(addr) {
+			continue
+		}
+		if !h.LLCc.Probe(addr) {
+			h.DRAMTraffic.ReadLines++
+			h.DRAMTraffic.PrefetchLines++
+			h.LLCc.Prefetch(addr)
+		}
+		h.L2c.Prefetch(addr)
+	}
+}
+
+// MissSummary returns per-level demand misses for reporting.
+func (h *Hierarchy) MissSummary() (l1, l2, llc uint64) {
+	return h.L1c.Stats.Misses, h.L2c.Stats.Misses, h.LLCc.Stats.Misses
+}
+
+// String summarizes the hierarchy for logs.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L1 %dKB/%dw %s | L2 %dKB/%dw %s | LLC %dMB/%dw %s",
+		h.cfg.L1.SizeB>>10, h.cfg.L1.Ways, h.cfg.L1.Policy,
+		h.cfg.L2.SizeB>>10, h.cfg.L2.Ways, h.cfg.L2.Policy,
+		h.cfg.LLC.SizeB>>20, h.cfg.LLC.Ways, h.cfg.LLC.Policy)
+}

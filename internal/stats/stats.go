@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// skipped (a ratio of zero would collapse the mean to zero and hide the
+// rest of the distribution). It returns 0 when no usable entries exist.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c))))
+	return c[rank-1]
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func Log2Ceil(n uint64) uint {
+	if n <= 1 {
+		return 0
+	}
+	k := uint(0)
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1). NextPow2(0) = 1.
+func NextPow2(n uint64) uint64 {
+	return 1 << Log2Ceil(maxU64(n, 1))
+}
+
+// PrevPow2 returns the largest power of two <= n for n >= 1; it panics on 0.
+func PrevPow2(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: PrevPow2(0)")
+	}
+	p := uint64(1)
+	for p<<1 <= n && p<<1 != 0 {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a power of two (n > 0).
+func IsPow2(n uint64) bool { return n > 0 && n&(n-1) == 0 }
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DivCeil returns ceil(a/b) for b > 0.
+func DivCeil(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// Histogram counts values into n equal-width buckets over [lo, hi).
+// Values outside the range clamp into the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	Count   uint64
+}
+
+// NewHistogram returns a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int(float64(len(h.Buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+	h.Count++
+}
+
+// Frac returns the fraction of observations in bucket i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.Count)
+}

@@ -1,0 +1,154 @@
+// Package tiling implements CSR-Segmenting (1D graph tiling, Zhang et
+// al. [63]), the software locality optimization the paper compares PB
+// against in §VII-D / Figure 15.
+//
+// CSR-Segmenting splits the incoming-edge graph into segments by source
+// vertex range so that the source-indexed data (PageRank contributions)
+// accessed while processing one segment fits in cache. Each segment
+// produces partial sums per destination into a per-segment intermediate
+// buffer; a merge pass accumulates the intermediates. Unlike PB, the
+// per-segment sub-CSRs must be constructed up front — the significant
+// initialization overhead Figure 15 charges against Tiling.
+package tiling
+
+import (
+	"math"
+
+	"cobra/internal/graph"
+)
+
+// Segmented is a graph pre-processed into 1D segments.
+type Segmented struct {
+	N         int
+	SegRange  int // source vertices per segment
+	Segments  []Segment
+	InitEdges int // total edges copied during construction (init cost proxy)
+}
+
+// Segment holds the sub-CSR of edges whose SOURCE lies in
+// [Lo, Hi): for each destination vertex with incoming edges from the
+// range, a compact row.
+type Segment struct {
+	Lo, Hi  uint32
+	DstIDs  []uint32 // destinations with at least one in-range source
+	Offsets []uint32 // len(DstIDs)+1 into Srcs
+	Srcs    []uint32 // in-range sources, grouped by destination
+}
+
+// BuildSegments constructs the segmented representation of the
+// transpose graph gt (gt.Neighbors(v) = in-neighbors of v) with
+// segRange source vertices per segment.
+func BuildSegments(gt *graph.CSR, segRange int) *Segmented {
+	if segRange <= 0 {
+		segRange = gt.N
+	}
+	numSegs := (gt.N + segRange - 1) / segRange
+	s := &Segmented{N: gt.N, SegRange: segRange, Segments: make([]Segment, numSegs)}
+	// Count per-segment, per-destination in-range sources.
+	counts := make([][]uint32, numSegs) // lazily allocated maps are slow; dense count array reused
+	for i := range counts {
+		counts[i] = make([]uint32, gt.N)
+	}
+	for v := uint32(0); int(v) < gt.N; v++ {
+		for _, u := range gt.Neighbors(v) {
+			counts[int(u)/segRange][v]++
+		}
+	}
+	for si := 0; si < numSegs; si++ {
+		seg := &s.Segments[si]
+		seg.Lo = uint32(si * segRange)
+		hi := (si + 1) * segRange
+		if hi > gt.N {
+			hi = gt.N
+		}
+		seg.Hi = uint32(hi)
+		var totalSrcs uint32
+		for v := 0; v < gt.N; v++ {
+			if c := counts[si][v]; c > 0 {
+				seg.DstIDs = append(seg.DstIDs, uint32(v))
+				totalSrcs += c
+			}
+		}
+		seg.Offsets = make([]uint32, len(seg.DstIDs)+1)
+		var sum uint32
+		for i, v := range seg.DstIDs {
+			seg.Offsets[i] = sum
+			sum += counts[si][v]
+		}
+		seg.Offsets[len(seg.DstIDs)] = sum
+		seg.Srcs = make([]uint32, totalSrcs)
+		s.InitEdges += int(totalSrcs)
+	}
+	// Fill pass.
+	cursor := make([][]uint32, numSegs)
+	dstSlot := make([][]int32, numSegs)
+	for si := range cursor {
+		cursor[si] = make([]uint32, len(s.Segments[si].DstIDs))
+		copy(cursor[si], s.Segments[si].Offsets[:len(s.Segments[si].DstIDs)])
+		slot := make([]int32, gt.N)
+		for i := range slot {
+			slot[i] = -1
+		}
+		for i, v := range s.Segments[si].DstIDs {
+			slot[v] = int32(i)
+		}
+		dstSlot[si] = slot
+	}
+	for v := uint32(0); int(v) < gt.N; v++ {
+		for _, u := range gt.Neighbors(v) {
+			si := int(u) / segRange
+			slot := dstSlot[si][v]
+			s.Segments[si].Srcs[cursor[si][slot]] = u
+			cursor[si][slot]++
+		}
+	}
+	return s
+}
+
+// PageRank runs pull PageRank over the segmented graph until the L1
+// delta falls below eps or maxIters is reached. Matches
+// graph.PageRankPull results for the same iteration count.
+func (s *Segmented) PageRank(outDeg []uint32, maxIters int, eps float64) ([]float64, int) {
+	n := s.N
+	scores := make([]float64, n)
+	contrib := make([]float64, n)
+	incoming := make([]float64, n)
+	base := (1 - graph.PRDamping) / float64(n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		for v := 0; v < n; v++ {
+			if d := outDeg[v]; d > 0 {
+				contrib[v] = scores[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+			incoming[v] = 0
+		}
+		// Per-segment gather: contrib accesses stay within [Lo,Hi),
+		// which fits in cache; incoming writes walk DstIDs sequentially.
+		for si := range s.Segments {
+			seg := &s.Segments[si]
+			for i, v := range seg.DstIDs {
+				sum := 0.0
+				for _, u := range seg.Srcs[seg.Offsets[i]:seg.Offsets[i+1]] {
+					sum += contrib[u]
+				}
+				incoming[v] += sum
+			}
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			next := base + graph.PRDamping*incoming[v]
+			delta += math.Abs(next - scores[v])
+			scores[v] = next
+		}
+		if delta < eps {
+			iters++
+			break
+		}
+	}
+	return scores, iters
+}

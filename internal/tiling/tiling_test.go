@@ -1,0 +1,120 @@
+package tiling
+
+import (
+	"math"
+	"testing"
+
+	"cobra/internal/graph"
+	"cobra/internal/pb"
+)
+
+func setup(t *testing.T) (*graph.CSR, *graph.CSR, []uint32) {
+	t.Helper()
+	el := graph.RMAT(9, 8, 5)
+	g := graph.BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	deg := graph.DegreeCount(el)
+	return g, gt, deg
+}
+
+func TestSegmentsPartitionEdges(t *testing.T) {
+	_, gt, _ := setup(t)
+	s := BuildSegments(gt, 64)
+	total := 0
+	for si := range s.Segments {
+		seg := &s.Segments[si]
+		total += len(seg.Srcs)
+		for _, u := range seg.Srcs {
+			if u < seg.Lo || u >= seg.Hi {
+				t.Fatalf("segment [%d,%d) holds out-of-range source %d", seg.Lo, seg.Hi, u)
+			}
+		}
+		if int(seg.Offsets[len(seg.DstIDs)]) != len(seg.Srcs) {
+			t.Fatal("segment offsets do not cover srcs")
+		}
+	}
+	if total != gt.M() {
+		t.Fatalf("segments hold %d edges, graph has %d", total, gt.M())
+	}
+	if s.InitEdges != gt.M() {
+		t.Fatalf("InitEdges = %d, want %d", s.InitEdges, gt.M())
+	}
+}
+
+func TestSegmentedPageRankMatchesPull(t *testing.T) {
+	_, gt, deg := setup(t)
+	want, _ := graph.PageRankPull(gt, deg, 30, 0)
+	for _, segRange := range []int{16, 64, 512, 1 << 20} {
+		s := BuildSegments(gt, segRange)
+		got, _ := s.PageRank(deg, 30, 0)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("segRange=%d: scores differ at %d: %g vs %g", segRange, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSegmentedPageRankConverges(t *testing.T) {
+	_, gt, deg := setup(t)
+	s := BuildSegments(gt, 128)
+	_, iters := s.PageRank(deg, 200, graph.PREps)
+	if iters == 200 {
+		t.Fatal("segmented PageRank did not converge")
+	}
+	_, wantIters := graph.PageRankPull(gt, deg, 200, graph.PREps)
+	if iters != wantIters {
+		t.Fatalf("converged in %d iters, pull baseline took %d", iters, wantIters)
+	}
+}
+
+func TestZeroSegRangeMeansOneSegment(t *testing.T) {
+	_, gt, _ := setup(t)
+	s := BuildSegments(gt, 0)
+	if len(s.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(s.Segments))
+	}
+}
+
+func TestSegmentsWithIsolatedVertices(t *testing.T) {
+	// Vertices without incoming edges must not appear in any segment.
+	el := &graph.EdgeList{N: 10, Edges: []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}}
+	g := graph.BuildCSR(el, false, pb.Options{})
+	gt := g.Transpose()
+	s := BuildSegments(gt, 4)
+	total := 0
+	for si := range s.Segments {
+		total += len(s.Segments[si].Srcs)
+		for _, d := range s.Segments[si].DstIDs {
+			if gt.Degree(d) == 0 {
+				t.Fatalf("isolated vertex %d appears in a segment", d)
+			}
+		}
+	}
+	if total != 2 {
+		t.Fatalf("segments hold %d edges, want 2", total)
+	}
+	deg := graph.DegreeCount(el)
+	scores, _ := s.PageRank(deg, 10, 0)
+	ref, _ := graph.PageRankPull(gt, deg, 10, 0)
+	for i := range ref {
+		if math.Abs(scores[i]-ref[i]) > 1e-12 {
+			t.Fatalf("scores differ at %d", i)
+		}
+	}
+}
+
+func TestSegRangeLargerThanGraph(t *testing.T) {
+	_, gt, deg := setup(t)
+	s := BuildSegments(gt, gt.N*10)
+	if len(s.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(s.Segments))
+	}
+	got, _ := s.PageRank(deg, 5, 0)
+	want, _ := graph.PageRankPull(gt, deg, 5, 0)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatal("single-segment PageRank differs")
+		}
+	}
+}
