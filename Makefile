@@ -1,0 +1,40 @@
+# Build/test entry points. `make ci` is the gate PRs must keep green:
+# vet + build + race-mode tests on the concurrency-bearing packages
+# (exp's worker pool and input memo, cache's shared-model users, pb's
+# parallel binning) + the full test suite.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench figures-quick fmt-check
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-mode pass over the packages that actually spawn goroutines or
+# share state across them.
+race:
+	$(GO) test -race ./internal/exp ./internal/cache ./internal/pb
+
+ci: vet build race test
+
+# Hot-path microbenchmarks (packed cache metadata; PB binning).
+bench:
+	$(GO) test -bench=BenchmarkCacheAccessHot -benchmem ./internal/cache
+	$(GO) test -bench=. -benchmem ./internal/pb
+
+# Smoke-regenerate one figure serially and in parallel (outputs must be
+# byte-identical; the exp tests also enforce this).
+figures-quick:
+	$(GO) run ./cmd/figures -fig 10 -quick -parallel 1
+	$(GO) run ./cmd/figures -fig 10 -quick -parallel 0
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

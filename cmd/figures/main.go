@@ -6,7 +6,12 @@
 //	figures -all              # everything at the default scale
 //	figures -fig 10           # one figure
 //	figures -fig 13a -quick   # fast smoke run
+//	figures -fig 10 -parallel 1   # force serial cell execution
 //	figures -list
+//
+// Simulation cells within a figure are independent and run on a
+// bounded worker pool; -parallel N bounds it (0 = one worker per CPU,
+// 1 = serial). Output is byte-identical at any parallelism.
 package main
 
 import (
@@ -47,12 +52,13 @@ var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c",
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a4)")
-		all   = flag.Bool("all", false, "regenerate every figure")
-		quick = flag.Bool("quick", false, "small-scale smoke run")
-		scale = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
-		seed  = flag.Uint64("seed", 42, "generator seed")
-		list  = flag.Bool("list", false, "list figures, then exit")
+		fig      = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a4)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		quick    = flag.Bool("quick", false, "small-scale smoke run")
+		scale    = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		list     = flag.Bool("list", false, "list figures, then exit")
+		parallel = flag.Int("parallel", 0, "worker pool size for simulation cells (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -74,6 +80,7 @@ func main() {
 		opts.Scale = *scale
 	}
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 
 	run := func(name string) {
 		fn, ok := figures[name]

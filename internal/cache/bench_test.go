@@ -37,6 +37,28 @@ func BenchmarkAccessDRRIP(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheAccessHot guards the packed-metadata + MRU-filter win:
+// a hit-dominated access stream with heavy same-line reuse, the shape
+// of every simulated access in the Binning/Accumulate inner loops.
+func BenchmarkCacheAccessHot(b *testing.B) {
+	c := benchCache(BitPLRU)
+	// 64-line working set fits the 512-line cache: ~100% hits after
+	// warmup. Four consecutive touches per line model word-granular
+	// reuse inside one line (the MRU-filter fast path).
+	const lines = 64
+	addrs := make([]uint64, lines*4)
+	for i := range addrs {
+		addrs[i] = uint64(i/4)*LineSize + uint64(i%4)*8
+	}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)], i&7 == 0)
+	}
+}
+
 func BenchmarkAccessSequential(b *testing.B) {
 	c := benchCache(BitPLRU)
 	b.ResetTimer()

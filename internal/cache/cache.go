@@ -5,6 +5,15 @@
 // feed byte addresses through Access and read hit/miss/writeback counts
 // back. Timing is the concern of package cpu and package mem, which
 // compose levels into a hierarchy.
+//
+// Hot-path layout: per-line metadata is packed into a single uint64
+// (tag<<2 | dirty<<1 | valid) so the probe loop in find/fill issues one
+// load and one masked compare per way instead of touching three
+// parallel slices. A one-entry last-line MRU filter in front of the way
+// scan short-circuits the common same-line / same-set-reuse case. Both
+// are pure implementation details: every simulated counter (hits,
+// misses, evictions, writebacks) and every victim choice is identical
+// to the unpacked three-slice layout.
 package cache
 
 import (
@@ -19,6 +28,16 @@ const LineSize = 64
 
 // LineBits is log2(LineSize).
 const LineBits = 6
+
+// Packed per-line metadata: tag<<2 | dirty<<1 | valid. A zero word is
+// an invalid line. Tags are addr >> (LineBits + setBits), so the
+// packing supports simulated addresses up to 2^61 — far beyond the
+// model's 2^41 address-space ceiling.
+const (
+	metaValid    uint64 = 1 << 0
+	metaDirty    uint64 = 1 << 1
+	metaTagShift        = 2
+)
 
 // Stats aggregates access outcomes for one cache level.
 type Stats struct {
@@ -69,10 +88,16 @@ type Cache struct {
 	ways     int
 	reserved int // ways [0, reserved) are withheld from normal use
 
-	// Flat arrays indexed by set*ways+way.
-	tags  []uint64
-	valid []bool
-	dirty []bool
+	// meta holds packed per-line metadata (tag<<2|dirty<<1|valid),
+	// indexed by set*ways+way.
+	meta []uint64
+
+	// One-entry MRU filter: the (set, way) of the last line touched by
+	// find/fill. It is a hint only — find re-verifies the packed word
+	// before trusting it — so invalidations, reservations, and refills
+	// never need to maintain it for correctness.
+	lastSet int32
+	lastWay int32
 
 	repl replacer
 
@@ -97,9 +122,8 @@ func New(cfg Config) *Cache {
 		setMask: uint64(sets - 1),
 		setBits: stats.Log2Ceil(uint64(sets)),
 		ways:    cfg.Ways,
-		tags:    make([]uint64, n),
-		valid:   make([]bool, n),
-		dirty:   make([]bool, n),
+		meta:    make([]uint64, n),
+		lastSet: -1,
 	}
 	c.repl = newReplacer(cfg.Policy, sets, cfg.Ways)
 	return c
@@ -117,6 +141,12 @@ func (c *Cache) Ways() int { return c.ways }
 // UsableWays returns the ways available for normal allocation.
 func (c *Cache) UsableWays() int { return c.ways - c.reserved }
 
+// lineValid reports whether line i (set*ways+way) holds a valid line.
+func (c *Cache) lineValid(i int) bool { return c.meta[i]&metaValid != 0 }
+
+// lineDirty reports whether line i holds a dirty line.
+func (c *Cache) lineDirty(i int) bool { return c.meta[i]&metaDirty != 0 }
+
 // ReserveWays withholds the first k ways of every set from normal
 // allocation and invalidates any resident lines in them (their contents
 // conceptually belong to the pinned owner now). k must leave at least
@@ -128,11 +158,10 @@ func (c *Cache) ReserveWays(k int) error {
 	c.reserved = k
 	for s := 0; s < c.sets; s++ {
 		for w := 0; w < k; w++ {
-			i := s*c.ways + w
-			c.valid[i] = false
-			c.dirty[i] = false
+			c.meta[s*c.ways+w] = 0
 		}
 	}
+	c.lastSet = -1
 	return nil
 }
 
@@ -141,6 +170,20 @@ func (c *Cache) ReservedWays() int { return c.reserved }
 
 // ReservedBytes returns the capacity withheld by the reservation.
 func (c *Cache) ReservedBytes() int { return c.reserved * c.sets * LineSize }
+
+// Reset restores the level to its post-New state: all lines invalid,
+// stats zeroed, replacement state cleared, reservation lifted. It lets
+// a pooled machine reuse a Cache without leaking lines, stats, or
+// replacement history from the previous run.
+func (c *Cache) Reset() {
+	for i := range c.meta {
+		c.meta[i] = 0
+	}
+	c.reserved = 0
+	c.lastSet = -1
+	c.repl.reset()
+	c.Stats = Stats{}
+}
 
 func (c *Cache) setIndex(addr uint64) int { return int((addr >> LineBits) & c.setMask) }
 func (c *Cache) tagOf(addr uint64) uint64 { return addr >> (LineBits + c.setBits) }
@@ -159,7 +202,7 @@ type Result struct {
 // (write-allocate, writeback). It returns what happened so hierarchies
 // can propagate fills and writebacks.
 func (c *Cache) Access(addr uint64, write bool) Result {
-	return c.access(addr, write, false)
+	return c.access(addr, write)
 }
 
 // Prefetch installs addr's line if absent without counting a demand
@@ -188,8 +231,7 @@ func (c *Cache) WriteNT(addr uint64) Result {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	if w := c.find(set, tag); w >= 0 {
-		i := set*c.ways + w
-		c.dirty[i] = true
+		c.meta[set*c.ways+w] |= metaDirty
 		c.repl.onHit(set, w)
 		c.Stats.Hits++
 		return Result{Hit: true}
@@ -207,44 +249,41 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 		return false, false
 	}
 	i := set*c.ways + w
-	d := c.dirty[i]
-	c.valid[i] = false
-	c.dirty[i] = false
+	d := c.meta[i]&metaDirty != 0
+	c.meta[i] = 0
 	return true, d
 }
 
 // FlushAll invalidates every line, returning how many dirty lines were
 // dropped (the caller accounts the writeback traffic).
 func (c *Cache) FlushAll() (dirtyLines int) {
-	for i := range c.valid {
-		if c.valid[i] && c.dirty[i] {
+	for i, m := range c.meta {
+		if m&(metaValid|metaDirty) == metaValid|metaDirty {
 			dirtyLines++
 		}
-		c.valid[i] = false
-		c.dirty[i] = false
+		c.meta[i] = 0
 	}
+	c.lastSet = -1
 	return dirtyLines
 }
 
 // OccupiedLines counts valid lines (diagnostics and tests).
 func (c *Cache) OccupiedLines() int {
 	n := 0
-	for i, v := range c.valid {
-		_ = i
-		if v {
+	for _, m := range c.meta {
+		if m&metaValid != 0 {
 			n++
 		}
 	}
 	return n
 }
 
-func (c *Cache) access(addr uint64, write, prefetch bool) Result {
+func (c *Cache) access(addr uint64, write bool) Result {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	if w := c.find(set, tag); w >= 0 {
-		i := set*c.ways + w
 		if write {
-			c.dirty[i] = true
+			c.meta[set*c.ways+w] |= metaDirty
 		}
 		c.repl.onHit(set, w)
 		c.Stats.Hits++
@@ -254,10 +293,21 @@ func (c *Cache) access(addr uint64, write, prefetch bool) Result {
 	return c.fill(set, tag, write)
 }
 
+// find locates tag in set, returning the way or -1. The packed layout
+// makes the scan a single masked compare per way; the MRU filter skips
+// the scan entirely when the last-touched line matches (it re-verifies
+// the packed word, so it is never stale).
 func (c *Cache) find(set int, tag uint64) int {
 	base := set * c.ways
+	want := tag<<metaTagShift | metaValid
+	if int(c.lastSet) == set {
+		if w := int(c.lastWay); w >= c.reserved && c.meta[base+w]&^metaDirty == want {
+			return w
+		}
+	}
 	for w := c.reserved; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+		if c.meta[base+w]&^metaDirty == want {
+			c.lastSet, c.lastWay = int32(set), int32(w)
 			return w
 		}
 	}
@@ -269,26 +319,28 @@ func (c *Cache) fill(set int, tag uint64, write bool) Result {
 	res := Result{}
 	way := -1
 	for w := c.reserved; w < c.ways; w++ {
-		if !c.valid[base+w] {
+		if c.meta[base+w]&metaValid == 0 {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		way = c.repl.victim(set, c.reserved)
-		i := base + way
+		m := c.meta[base+way]
 		res.Evicted = true
-		res.WroteBack = c.dirty[i]
-		res.VictimAddr = c.victimAddr(set, c.tags[i])
+		res.WroteBack = m&metaDirty != 0
+		res.VictimAddr = c.victimAddr(set, m>>metaTagShift)
 		c.Stats.Evictions++
 		if res.WroteBack {
 			c.Stats.Writebacks++
 		}
 	}
-	i := base + way
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.dirty[i] = write
+	m := tag<<metaTagShift | metaValid
+	if write {
+		m |= metaDirty
+	}
+	c.meta[base+way] = m
+	c.lastSet, c.lastWay = int32(set), int32(way)
 	c.repl.onFill(set, way)
 	c.Stats.Fills++
 	return res

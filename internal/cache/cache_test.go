@@ -263,7 +263,7 @@ func TestOccupancyNeverExceedsUsableWays(t *testing.T) {
 		perSet := make([]int, c.Sets())
 		for s := 0; s < c.Sets(); s++ {
 			for w := 0; w < c.Ways(); w++ {
-				if c.valid[s*c.Ways()+w] {
+				if c.lineValid(s*c.Ways() + w) {
 					perSet[s]++
 					if w < res {
 						return false // reserved way got filled
@@ -295,6 +295,97 @@ func TestStatsConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPackedMetaRoundTrip(t *testing.T) {
+	// The packed word must preserve tag, valid, and dirty independently.
+	c := tiny(TrueLRU)
+	addr := uint64(0x7FFC0) // high-ish tag
+	c.Access(addr, true)
+	set, tag := c.setIndex(addr), c.tagOf(addr)
+	w := c.find(set, tag)
+	if w < 0 {
+		t.Fatal("line not found after fill")
+	}
+	i := set*c.Ways() + w
+	if !c.lineValid(i) || !c.lineDirty(i) {
+		t.Fatalf("valid/dirty bits lost: meta=%#x", c.meta[i])
+	}
+	if got := c.meta[i] >> metaTagShift; got != tag {
+		t.Fatalf("tag round-trip: got %#x want %#x", got, tag)
+	}
+}
+
+func TestMRUFilterNeverStale(t *testing.T) {
+	// The MRU filter is a hint: after invalidation or reservation of the
+	// last-touched line, probes must not report a stale hit.
+	c := tiny(TrueLRU)
+	c.Access(0x40, false)
+	if !c.Probe(0x40) {
+		t.Fatal("line absent after access")
+	}
+	c.Invalidate(0x40)
+	if c.Probe(0x40) {
+		t.Fatal("MRU filter returned an invalidated line")
+	}
+	c.Access(0, false) // lands in way 0 (first free), becomes last-touched
+	if err := c.ReserveWays(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Probe(0) {
+		t.Fatal("MRU filter returned a line in a reserved way")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	c := tiny(DRRIP)
+	r := stats.NewRand(3)
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(r.Intn(1<<13)), i&1 == 0)
+	}
+	if err := c.ReserveWays(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.OccupiedLines() != 0 {
+		t.Fatal("lines survive Reset")
+	}
+	if c.Stats != (Stats{}) {
+		t.Fatalf("stats survive Reset: %+v", c.Stats)
+	}
+	if c.ReservedWays() != 0 {
+		t.Fatal("reservation survives Reset")
+	}
+	// A reset cache must replay a trace identically to a fresh one.
+	fresh := tiny(DRRIP)
+	ra, rb := stats.NewRand(9), stats.NewRand(9)
+	for i := 0; i < 2000; i++ {
+		c.Access(uint64(ra.Intn(1<<13)), i&3 == 0)
+		fresh.Access(uint64(rb.Intn(1<<13)), i&3 == 0)
+	}
+	if c.Stats != fresh.Stats {
+		t.Fatalf("reset cache diverges from fresh: %+v vs %+v", c.Stats, fresh.Stats)
+	}
+}
+
+func TestResetAllPolicies(t *testing.T) {
+	for _, p := range []PolicyKind{BitPLRU, TrueLRU, DRRIP, Random} {
+		c := tiny(p)
+		r := stats.NewRand(uint64(p) + 1)
+		for i := 0; i < 1000; i++ {
+			c.Access(uint64(r.Intn(1<<13)), false)
+		}
+		c.Reset()
+		fresh := tiny(p)
+		ra, rb := stats.NewRand(11), stats.NewRand(11)
+		for i := 0; i < 1000; i++ {
+			c.Access(uint64(ra.Intn(1<<13)), false)
+			fresh.Access(uint64(rb.Intn(1<<13)), false)
+		}
+		if c.Stats != fresh.Stats {
+			t.Fatalf("%v: reset cache diverges: %+v vs %+v", p, c.Stats, fresh.Stats)
+		}
 	}
 }
 

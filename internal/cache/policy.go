@@ -36,6 +36,9 @@ type replacer interface {
 	onHit(set, way int)
 	onFill(set, way int)
 	victim(set, minWay int) int
+	// reset restores the post-construction state (Cache.Reset support
+	// for pooled machine reuse).
+	reset()
 }
 
 func newReplacer(kind PolicyKind, sets, ways int) replacer {
@@ -83,6 +86,12 @@ func (p *bitPLRU) touch(set, way int) {
 func (p *bitPLRU) onHit(set, way int)  { p.touch(set, way) }
 func (p *bitPLRU) onFill(set, way int) { p.touch(set, way) }
 
+func (p *bitPLRU) reset() {
+	for i := range p.mru {
+		p.mru[i] = false
+	}
+}
+
 func (p *bitPLRU) victim(set, minWay int) int {
 	base := set * p.ways
 	for w := minWay; w < p.ways; w++ {
@@ -106,6 +115,13 @@ func newTrueLRU(sets, ways int) *trueLRU {
 
 func (p *trueLRU) onHit(set, way int)  { p.clock++; p.stamp[set*p.ways+way] = p.clock }
 func (p *trueLRU) onFill(set, way int) { p.clock++; p.stamp[set*p.ways+way] = p.clock }
+
+func (p *trueLRU) reset() {
+	for i := range p.stamp {
+		p.stamp[i] = 0
+	}
+	p.clock = 0
+}
 
 func (p *trueLRU) victim(set, minWay int) int {
 	base := set * p.ways
@@ -160,6 +176,14 @@ func (d *drrip) leader(set int) int {
 
 func (d *drrip) onHit(set, way int) { d.rrpv[set*d.ways+way] = 0 }
 
+func (d *drrip) reset() {
+	for i := range d.rrpv {
+		d.rrpv[i] = rrpvMax
+	}
+	d.psel = 0
+	d.bimod = 0
+}
+
 func (d *drrip) onFill(set, way int) {
 	useSRRIP := d.psel >= 0
 	switch d.leader(set) {
@@ -210,12 +234,17 @@ type randomRepl struct {
 	state uint64
 }
 
+// randomSeed is the fixed xorshift seed (deterministic replay).
+const randomSeed = 0x2545F4914F6CDD1D
+
 func newRandomRepl(sets, ways int) *randomRepl {
-	return &randomRepl{ways: ways, state: 0x2545F4914F6CDD1D}
+	return &randomRepl{ways: ways, state: randomSeed}
 }
 
 func (p *randomRepl) onHit(int, int)  {}
 func (p *randomRepl) onFill(int, int) {}
+
+func (p *randomRepl) reset() { p.state = randomSeed }
 
 func (p *randomRepl) victim(set, minWay int) int {
 	p.state ^= p.state << 13

@@ -25,26 +25,32 @@ func AblationPrefetcher(o Opts) (*Table, error) {
 		Title:  "L2 stream prefetcher on/off (Neighbor-Populate, KRON)",
 		Header: []string{"prefetcher", "scheme", "cycles", "DRAM-reads"},
 	}
-	for _, pf := range []bool{true, false} {
+	// One cell per (prefetcher-setting, scheme) point.
+	rows, err := MapCells(o.workers(), 4, func(i int) ([]string, error) {
+		pf, scheme := i/2 == 0, i%2
 		arch := o.Arch
-		if !pf {
-			arch.Mem.PrefetchDegree = 0
-		}
 		label := "on"
 		if !pf {
+			arch.Mem.PrefetchDegree = 0
 			label = "off"
 		}
-		base, err := sim.RunBaseline(app, arch)
-		if err != nil {
-			return nil, err
+		if scheme == 0 {
+			base, err := sim.RunBaseline(app, arch)
+			if err != nil {
+				return nil, err
+			}
+			return []string{label, "Baseline", fe(base.Cycles), fmt.Sprintf("%d", base.DRAM.ReadLines)}, nil
 		}
-		t.AddRow(label, "Baseline", fe(base.Cycles), fmt.Sprintf("%d", base.DRAM.ReadLines))
 		pbm, err := sim.RunPBSW(app, 4096, arch)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(label, "PB-SW", fe(pbm.Cycles), fmt.Sprintf("%d", pbm.DRAM.ReadLines))
+		return []string{label, "PB-SW", fe(pbm.Cycles), fmt.Sprintf("%d", pbm.DRAM.ReadLines)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "PB leans on streaming; disabling the prefetcher hurts PB more than baseline")
 	return t, nil
 }
@@ -61,15 +67,20 @@ func AblationLLCPolicy(o Opts) (*Table, error) {
 		Title:  "LLC replacement policy (DegreeCount, URND baseline)",
 		Header: []string{"policy", "cycles", "LLC-miss-rate"},
 	}
-	for _, pol := range []cache.PolicyKind{cache.DRRIP, cache.TrueLRU, cache.Random} {
+	policies := []cache.PolicyKind{cache.DRRIP, cache.TrueLRU, cache.Random}
+	rows, err := MapCells(o.workers(), len(policies), func(i int) ([]string, error) {
 		arch := o.Arch
-		arch.Mem.LLC.Policy = pol
+		arch.Mem.LLC.Policy = policies[i]
 		m, err := sim.RunBaseline(app, arch)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pol.String(), fe(m.Cycles), fp(m.LLCMissRate))
+		return []string{policies[i].String(), fe(m.Cycles), fp(m.LLCMissRate)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "DRRIP's scan resistance protects the reused counter lines from streaming input")
 	return t, nil
 }
@@ -87,16 +98,16 @@ func AblationPINV(o Opts) (*Table, error) {
 		Title:  "PINV: COBRA with capped (medium) LLC C-Buffer count (§VII-A)",
 		Header: []string{"LLC-bufs", "binning-cyc", "accum-cyc", "total-cyc"},
 	}
-	full, err := sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch)
+	caps := []int{0, 1024, 256, 64} // 0 = uncapped default
+	ms, err := MapCells(o.workers(), len(caps), func(i int) (sim.Metrics, error) {
+		return sim.RunCOBRA(app, sim.CobraOpt{MaxLLCBufs: caps[i]}, o.Arch)
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(fmt.Sprintf("%d (default)", full.NumBins), fe(full.BinCycles), fe(full.AccumCycles), fe(full.Cycles))
-	for _, cap := range []int{1024, 256, 64} {
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{MaxLLCBufs: cap}, o.Arch)
-		if err != nil {
-			return nil, err
-		}
+	t.AddRow(fmt.Sprintf("%d (default)", ms[0].NumBins), fe(ms[0].BinCycles), fe(ms[0].AccumCycles), fe(ms[0].Cycles))
+	for i, cap := range caps[1:] {
+		m := ms[i+1]
 		t.AddRow(fmt.Sprintf("%d", cap), fe(m.BinCycles), fe(m.AccumCycles), fe(m.Cycles))
 	}
 	t.Notes = append(t.Notes,
@@ -115,7 +126,9 @@ func AblationNoPartition(o Opts) (*Table, error) {
 		Title:  "COBRA without static cache partitioning: C-Buffer L1 miss rate",
 		Header: []string{"app", "input", "cbuf-miss-rate", "binning-vs-partitioned"},
 	}
-	for _, p := range []pair{{"NeighborPopulate", "KRON"}, {"DegreeCount", "URND"}} {
+	pairs := []pair{{"NeighborPopulate", "KRON"}, {"DegreeCount", "URND"}}
+	rows, err := MapCells(o.workers(), len(pairs), func(i int) ([]string, error) {
+		p := pairs[i]
 		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
 		if err != nil {
 			return nil, err
@@ -128,8 +141,12 @@ func AblationNoPartition(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(p.App, p.Input, fp(m.CBufMissRate), fx(m.BinCycles/ref.BinCycles))
+		return []string{p.App, p.Input, fp(m.CBufMissRate), fx(m.BinCycles / ref.BinCycles)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: <1% C-Buffer miss rate without partitioning (streaming co-traffic)")
 	return t, nil
 }
@@ -147,9 +164,10 @@ func AblationMLP(o Opts) (*Table, error) {
 		Title:  "MSHR sweep: baseline sensitivity to memory-level parallelism",
 		Header: []string{"MSHRs", "baseline-cyc", "PB-SW-cyc", "PB-speedup"},
 	}
-	for _, mshrs := range []int{1, 4, 10, 16} {
+	mshrSweep := []int{1, 4, 10, 16}
+	rows, err := MapCells(o.workers(), len(mshrSweep), func(i int) ([]string, error) {
 		arch := o.Arch
-		arch.CPU.MSHRs = mshrs
+		arch.CPU.MSHRs = mshrSweep[i]
 		base, err := sim.RunBaseline(app, arch)
 		if err != nil {
 			return nil, err
@@ -158,8 +176,12 @@ func AblationMLP(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d", mshrs), fe(base.Cycles), fe(pbm.Cycles), fx(pbm.Speedup(base)))
+		return []string{fmt.Sprintf("%d", mshrSweep[i]), fe(base.Cycles), fe(pbm.Cycles), fx(pbm.Speedup(base))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "fewer MSHRs punish the irregular baseline far more than streaming PB")
 	return t, nil
 }
@@ -178,10 +200,10 @@ func AblationNUCA(o Opts) (*Table, error) {
 		Title:  "NUCA mesh latency on the shared-LLC view (DegreeCount, URND)",
 		Header: []string{"NUCA", "baseline-cyc", "COBRA-cyc", "COBRA-speedup"},
 	}
-	for _, on := range []bool{false, true} {
+	rows, err := MapCells(o.workers(), 2, func(i int) ([]string, error) {
 		arch := o.Arch
 		label := "off (local slice)"
-		if on {
+		if i == 1 {
 			arch.Mem.NUCA = mem.DefaultNUCA()
 			label = "on (4x4 mesh)"
 		}
@@ -193,8 +215,12 @@ func AblationNUCA(o Opts) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(label, fe(base.Cycles), fe(cob.Cycles), fx(cob.Speedup(base)))
+		return []string{label, fe(base.Cycles), fe(cob.Cycles), fx(cob.Speedup(base))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "NoC hops penalize the baseline's bank-scattered accesses more than COBRA's")
 	return t, nil
 }

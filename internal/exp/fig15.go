@@ -25,6 +25,11 @@ func Fig15(o Opts) (*Table, error) {
 		Header: []string{"input", "scheme", "init-ms", "run-ms", "speedup-no-init", "speedup-with-init"},
 	}
 	const maxIters = 50
+	// Deliberately serial: these cells are host wall-clock measurements,
+	// and running them concurrently would let the schemes contend for
+	// cores and caches, corrupting the very numbers under comparison.
+	// Input construction still benefits from the (input, scale, seed)
+	// memo shared with the simulated figures.
 	for _, input := range []string{"KRON", "URND"} {
 		el, err := buildGraphInput(input, o.Scale, o.Seed)
 		if err != nil {

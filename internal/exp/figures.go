@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"cobra/internal/sim"
 	"cobra/internal/stats"
@@ -12,7 +13,14 @@ type Opts struct {
 	Scale int // keys/vertices ~ 2^Scale
 	Seed  uint64
 	Arch  sim.Arch
+	// Parallel bounds the worker pool the figure's independent
+	// simulation cells run on: 0 = one worker per CPU (GOMAXPROCS),
+	// 1 = serial. Output is byte-identical at any setting.
+	Parallel int
 }
+
+// workers resolves the pool size for this regeneration.
+func (o Opts) workers() int { return Workers(o.Parallel) }
 
 // DefaultOpts returns the standard experiment configuration. Scale 20
 // (1 Mi keys) keeps per-core irregular working sets 2–16× the 2 MB LLC
@@ -56,7 +64,9 @@ func Fig2(o Opts) (*Table, error) {
 		Title:  "Locality of irregular updates: baseline LLC miss rate",
 		Header: []string{"app", "input", "LLC-miss-rate", "L1-MPKI", "DRAM-lines"},
 	}
-	for _, p := range DefaultSuite() {
+	suite := DefaultSuite()
+	rows, err := MapCells(o.workers(), len(suite), func(i int) ([]string, error) {
+		p := suite[i]
 		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
 		if err != nil {
 			return nil, err
@@ -66,9 +76,13 @@ func Fig2(o Opts) (*Table, error) {
 			return nil, err
 		}
 		mpki := 1000 * float64(m.L1Misses) / float64(m.Ctr.Instructions)
-		t.AddRow(p.App, p.Input, fp(m.LLCMissRate), f2(mpki),
-			fmt.Sprintf("%d", m.DRAM.ReadLines+m.DRAM.WriteLines))
+		return []string{p.App, p.Input, fp(m.LLCMissRate), f2(mpki),
+			fmt.Sprintf("%d", m.DRAM.ReadLines+m.DRAM.WriteLines)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -85,7 +99,7 @@ func Fig4(o Opts) (*Table, error) {
 		Title:  "PB bin-count sensitivity (Neighbor-Populate, KRON)",
 		Header: []string{"bins", "binning-cyc", "accum-cyc", "total-cyc", "bin-L2miss", "bin-LLCmiss", "bin-DRAMrd", "acc-L1miss"},
 	}
-	best, sweep, err := BestPBSW(app, o.Arch)
+	best, sweep, err := BestPBSWN(app, o.Arch, o.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -136,14 +150,19 @@ func Table1(o Opts) (*Table, error) {
 		Title:  "PB execution breakup (Neighbor-Populate)",
 		Header: []string{"bins", "init%", "binning%", "accumulate%"},
 	}
-	for _, bins := range []int{64, 4096} {
-		m, err := sim.RunPBSW(app, bins, o.Arch)
+	binCounts := []int{64, 4096}
+	rows, err := MapCells(o.workers(), len(binCounts), func(i int) ([]string, error) {
+		m, err := sim.RunPBSW(app, binCounts[i], o.Arch)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d", m.NumBins),
-			fp(m.InitCycles/m.Cycles), fp(m.BinCycles/m.Cycles), fp(m.AccumCycles/m.Cycles))
+		return []string{fmt.Sprintf("%d", m.NumBins),
+			fp(m.InitCycles / m.Cycles), fp(m.BinCycles / m.Cycles), fp(m.AccumCycles / m.Cycles)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: Init ~6%, Binning is the dominant phase")
 	return t, nil
 }
@@ -159,38 +178,97 @@ type suiteResult struct {
 
 // suiteCache memoizes runSuite across figures within one process: a
 // figures -all invocation would otherwise re-simulate the whole suite
-// for each of Figures 5, 10, 11, and 12.
-var suiteCache = map[string][]suiteResult{}
+// for each of Figures 5, 10, 11, and 12. Guarded by suiteMu because
+// parallel cells of distinct figures may race on first fill.
+var (
+	suiteMu    sync.Mutex
+	suiteCache = map[string][]suiteResult{}
+)
 
 // runSuite executes the headline comparison for every default pair,
 // reusing the bin sweep across PB-SW / IDEAL (and returning it for
 // callers that need PHI's bin count).
+//
+// It is the canonical three-stage use of the executor: (1) build every
+// app in parallel (inputs memoized and shared read-only), (2) enumerate
+// every independent simulation cell — one baseline, one PB-SW run per
+// sweep bin count, and one COBRA run per pair — and run them all on one
+// bounded pool, (3) aggregate in enumeration order, so the result (and
+// every figure derived from it) is byte-identical at any -parallel.
 func runSuite(o Opts) ([]suiteResult, error) {
 	key := fmt.Sprintf("%d/%d", o.Scale, o.Seed)
+	suiteMu.Lock()
 	if rs, ok := suiteCache[key]; ok {
+		suiteMu.Unlock()
 		return rs, nil
 	}
-	var out []suiteResult
-	for _, p := range DefaultSuite() {
-		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
-		if err != nil {
-			return nil, err
+	suiteMu.Unlock()
+
+	pairs := DefaultSuite()
+	workers := o.workers()
+
+	// Stage 1: build apps.
+	apps, err := MapCells(workers, len(pairs), func(i int) (*sim.App, error) {
+		return BuildApp(pairs[i].App, pairs[i].Input, o.Scale, o.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: enumerate and run every simulation cell.
+	const (
+		kindBase = iota
+		kindPBSW
+		kindCOBRA
+	)
+	type cellID struct{ pair, kind, bins int }
+	var cells []cellID
+	sweepBins := make([][]int, len(pairs))
+	for p := range pairs {
+		sweepBins[p] = validBins(apps[p])
+		cells = append(cells, cellID{p, kindBase, 0})
+		for _, b := range sweepBins[p] {
+			cells = append(cells, cellID{p, kindPBSW, b})
 		}
-		r := suiteResult{p: p}
-		if r.base, err = sim.RunBaseline(app, o.Arch); err != nil {
-			return nil, err
+		cells = append(cells, cellID{p, kindCOBRA, 0})
+	}
+	res, err := MapCells(workers, len(cells), func(i int) (sim.Metrics, error) {
+		c := cells[i]
+		switch c.kind {
+		case kindBase:
+			return sim.RunBaseline(apps[c.pair], o.Arch)
+		case kindPBSW:
+			return sim.RunPBSW(apps[c.pair], c.bins, o.Arch)
+		default:
+			return sim.RunCOBRA(apps[c.pair], sim.CobraOpt{}, o.Arch)
 		}
-		var sweep []sim.Metrics
-		if r.pbsw, sweep, err = BestPBSW(app, o.Arch); err != nil {
-			return nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: aggregate by cell index (enumeration order).
+	out := make([]suiteResult, len(pairs))
+	ci := 0
+	for p := range pairs {
+		r := suiteResult{p: pairs[p]}
+		r.base = res[ci]
+		ci++
+		sweep := res[ci : ci+len(sweepBins[p])]
+		ci += len(sweepBins[p])
+		for _, m := range sweep {
+			if r.pbsw.Cycles == 0 || m.Cycles < r.pbsw.Cycles {
+				r.pbsw = m
+			}
 		}
 		r.ideal = BestIdealPB(sweep)
-		if r.cobra, err = sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch); err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		r.cobra = res[ci]
+		ci++
+		out[p] = r
 	}
+	suiteMu.Lock()
 	suiteCache[key] = out
+	suiteMu.Unlock()
 	return out, nil
 }
 
@@ -278,22 +356,29 @@ func Fig13a(o Opts) (*Table, error) {
 		Header: []string{"entries", "KRON", "URND", "ROAD"},
 	}
 	sizes := []int{1, 2, 4, 8, 16, 32, 64}
-	cols := map[string][]float64{}
-	for _, input := range []string{"KRON", "URND", "ROAD"} {
-		app, err := BuildApp("NeighborPopulate", input, o.Scale, o.Seed)
+	inputs := []string{"KRON", "URND", "ROAD"}
+	workers := o.workers()
+	apps, err := MapCells(workers, len(inputs), func(i int) (*sim.App, error) {
+		return BuildApp("NeighborPopulate", inputs[i], o.Scale, o.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One cell per (input, buffer-size) point.
+	fracs, err := MapCells(workers, len(inputs)*len(sizes), func(i int) (float64, error) {
+		app, e := apps[i/len(sizes)], sizes[i%len(sizes)]
+		m, err := sim.RunCOBRA(app, sim.CobraOpt{EvictBufL1L2: e, SkipAccum: true}, o.Arch)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		for _, e := range sizes {
-			m, err := sim.RunCOBRA(app, sim.CobraOpt{EvictBufL1L2: e, SkipAccum: true}, o.Arch)
-			if err != nil {
-				return nil, err
-			}
-			cols[input] = append(cols[input], m.EvictStallFrac)
-		}
+		return m.EvictStallFrac, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i, e := range sizes {
-		t.AddRow(fmt.Sprintf("%d", e), fp(cols["KRON"][i]), fp(cols["URND"][i]), fp(cols["ROAD"][i]))
+		t.AddRow(fmt.Sprintf("%d", e),
+			fp(fracs[0*len(sizes)+i]), fp(fracs[1*len(sizes)+i]), fp(fracs[2*len(sizes)+i]))
 	}
 	t.Notes = append(t.Notes, "paper: a 32-entry buffer hides eviction latency for all inputs")
 	return t, nil
@@ -306,35 +391,36 @@ func Fig13b(o Opts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := sim.RunCOBRA(app, sim.CobraOpt{SkipAccum: true}, o.Arch)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:     "Figure 13b",
 		Title:  "Binning cycles vs ways reserved (relative to default config)",
 		Header: []string{"level", "ways", "binning-vs-default"},
 	}
+	// Cell 0 is the reference run; the rest are one per (level, ways).
+	type wayCell struct {
+		level string
+		opt   sim.CobraOpt
+		ways  int
+	}
+	cells := []wayCell{{level: "", opt: sim.CobraOpt{SkipAccum: true}}}
 	for _, w := range []int{2, 4, 6, 7} {
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{ReserveL1: w, SkipAccum: true}, o.Arch)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("L1", fmt.Sprintf("%d", w), fx(m.BinCycles/ref.BinCycles))
+		cells = append(cells, wayCell{"L1", sim.CobraOpt{ReserveL1: w, SkipAccum: true}, w})
 	}
 	for _, w := range []int{1, 2, 4, 7} {
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{ReserveL2: w, SkipAccum: true}, o.Arch)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("L2", fmt.Sprintf("%d", w), fx(m.BinCycles/ref.BinCycles))
+		cells = append(cells, wayCell{"L2", sim.CobraOpt{ReserveL2: w, SkipAccum: true}, w})
 	}
 	for _, w := range []int{4, 8, 12, 15} {
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{ReserveLLC: w, SkipAccum: true}, o.Arch)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("LLC", fmt.Sprintf("%d", w), fx(m.BinCycles/ref.BinCycles))
+		cells = append(cells, wayCell{"LLC", sim.CobraOpt{ReserveLLC: w, SkipAccum: true}, w})
+	}
+	ms, err := MapCells(o.workers(), len(cells), func(i int) (sim.Metrics, error) {
+		return sim.RunCOBRA(app, cells[i].opt, o.Arch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref := ms[0]
+	for i, c := range cells[1:] {
+		t.AddRow(c.level, fmt.Sprintf("%d", c.ways), fx(ms[i+1].BinCycles/ref.BinCycles))
 	}
 	t.Notes = append(t.Notes, "paper: ≤10% variation at L1/LLC; L2 the most sensitive (stream prefetcher)")
 	return t, nil
@@ -353,7 +439,9 @@ func Fig13c(o Opts) (*Table, error) {
 		Header: []string{"quantum-cycles", "switches", "waste-bytes", "waste-frac"},
 	}
 	// Linux default quantum ~ 1ms ≈ 2.66M cycles; sweep down to 1/100th.
-	for _, q := range []float64{26_600, 266_000, 2_660_000} {
+	quanta := []float64{26_600, 266_000, 2_660_000}
+	rows, err := MapCells(o.workers(), len(quanta), func(i int) ([]string, error) {
+		q := quanta[i]
 		m, err := sim.RunCOBRA(app, sim.CobraOpt{CtxSwitchQuantum: q, SkipAccum: true}, o.Arch)
 		if err != nil {
 			return nil, err
@@ -363,9 +451,13 @@ func Fig13c(o Opts) (*Table, error) {
 		if total > 0 {
 			frac = float64(m.CtxWasteBytes) / float64(total)
 		}
-		t.AddRow(fmt.Sprintf("%.0f", q), fmt.Sprintf("%d", m.CtxSwitches),
-			fmt.Sprintf("%d", m.CtxWasteBytes), fp(frac))
+		return []string{fmt.Sprintf("%.0f", q), fmt.Sprintf("%d", m.CtxSwitches),
+			fmt.Sprintf("%d", m.CtxWasteBytes), fp(frac)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: <5% waste even at 1/100th of the default Linux quantum")
 	return t, nil
 }
@@ -379,10 +471,14 @@ func Fig14(o Opts) (*Table, error) {
 		Title:  "Commutativity specialization: traffic and locality vs PB-SW (Binning+Accumulate)",
 		Header: []string{"app", "input", "scheme", "DRAM-bytes-vs-PB", "L1miss-vs-PB"},
 	}
-	for _, p := range []pair{
+	pairs := []pair{
 		{"DegreeCount", "KRON"}, {"DegreeCount", "URND"}, {"DegreeCount", "ROAD"},
 		{"NeighborPopulate", "KRON"}, {"NeighborPopulate", "URND"},
-	} {
+	}
+	// One cell per pair; within a cell the comparison schemes run
+	// serially because PHI depends on the PB-SW reference's bin count.
+	blocks, err := MapCells(o.workers(), len(pairs), func(i int) ([][]string, error) {
+		p := pairs[i]
 		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
 		if err != nil {
 			return nil, err
@@ -395,22 +491,30 @@ func Fig14(o Opts) (*Table, error) {
 		}
 		pbTraffic := float64(pbBest.BinMem.Sum(pbBest.AccumMem).DRAMBytes())
 		pbL1 := float64(pbBest.BinMem.Sum(pbBest.AccumMem).L1Misses)
+		var rows [][]string
 		add := func(name string, m sim.Metrics, err error) {
 			if err != nil {
-				t.AddRow(p.App, p.Input, name, "inapplicable", "inapplicable")
+				rows = append(rows, []string{p.App, p.Input, name, "inapplicable", "inapplicable"})
 				return
 			}
 			mm := m.BinMem.Sum(m.AccumMem)
-			t.AddRow(p.App, p.Input, name,
-				fp(float64(mm.DRAMBytes())/pbTraffic), fp(float64(mm.L1Misses)/pbL1))
+			rows = append(rows, []string{p.App, p.Input, name,
+				fp(float64(mm.DRAMBytes()) / pbTraffic), fp(float64(mm.L1Misses) / pbL1)})
 		}
-		t.AddRow(p.App, p.Input, "PB-SW", "100.0%", "100.0%")
+		rows = append(rows, []string{p.App, p.Input, "PB-SW", "100.0%", "100.0%"})
 		phiM, phiErr := sim.RunPHI(app, pbBest.NumBins, o.Arch)
 		add("PHI", phiM, phiErr)
 		cobraM, cobraErr := sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch)
 		add("COBRA", cobraM, cobraErr)
 		commM, commErr := sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, o.Arch)
 		add("COBRA-COMM", commM, commErr)
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: PHI/COBRA-COMM inapplicable to non-commutative apps; COBRA-COMM matches PHI's traffic;",

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"cobra/internal/graph"
+)
+
+// TestInputCacheSharesPointer: the memo must hand every caller the same
+// immutable instance for the same (input, scale, seed) key.
+func TestInputCacheSharesPointer(t *testing.T) {
+	ResetMemos()
+	a, err := CachedGraphInput("KRON", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedGraphInput("KRON", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same key returned distinct instances: %p vs %p", a, b)
+	}
+	if got := InputBuilds(); got != 1 {
+		t.Fatalf("InputBuilds = %d, want 1 (second lookup must not regenerate)", got)
+	}
+
+	ma, err := CachedMatrixInput("RAND", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := CachedMatrixInput("RAND", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Fatalf("same matrix key returned distinct instances: %p vs %p", ma, mb)
+	}
+}
+
+// TestInputCacheSeedSensitivity: different seeds are different keys and
+// different graphs — the cache must not conflate them.
+func TestInputCacheSeedSensitivity(t *testing.T) {
+	ResetMemos()
+	a, err := CachedGraphInput("URND", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedGraphInput("URND", 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds returned the same instance")
+	}
+	if InputBuilds() != 2 {
+		t.Fatalf("InputBuilds = %d, want 2", InputBuilds())
+	}
+	if len(a.Edges) == len(b.Edges) {
+		diff := false
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds generated identical edge lists")
+		}
+	}
+}
+
+// TestInputCacheSingleFlight: concurrent first use must run the
+// generator exactly once; every goroutine sees the same instance.
+// Run with -race to also check the memo's synchronization.
+func TestInputCacheSingleFlight(t *testing.T) {
+	ResetMemos()
+	const goroutines = 16
+	els := make([]*graph.EdgeList, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			el, err := CachedGraphInput("KRON", 12, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Touch the data to give the race detector something to see
+			// if construction escaped the single-flight.
+			_ = el.Edges[0]
+			els[g] = el
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if els[g] != els[0] {
+			t.Fatalf("goroutine %d saw a different instance", g)
+		}
+	}
+	if got := InputBuilds(); got != 1 {
+		t.Fatalf("InputBuilds = %d, want exactly 1 under concurrent first use", got)
+	}
+}
+
+// TestResetMemosForcesRebuild: after ResetMemos the next lookup must
+// regenerate (fresh instance, build counter restarts).
+func TestResetMemosForcesRebuild(t *testing.T) {
+	ResetMemos()
+	a, err := CachedGraphInput("ROAD", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetMemos()
+	if InputBuilds() != 0 {
+		t.Fatalf("InputBuilds = %d after reset, want 0", InputBuilds())
+	}
+	b, err := CachedGraphInput("ROAD", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("ResetMemos did not drop the memoized instance")
+	}
+}

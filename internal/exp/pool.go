@@ -1,0 +1,94 @@
+package exp
+
+// The parallel experiment executor. Every figure is a collection of
+// independent simulation cells — one (app, input, scheme, bin-count)
+// run, each owning its own sim.Mach — so cells are embarrassingly
+// parallel. RunCells/MapCells schedule them on a bounded worker pool
+// while keeping results strictly ordered by cell index: a figure built
+// at -parallel N is byte-identical to the serial one, because each cell
+// writes only its own slot and aggregation happens after the barrier in
+// enumeration order (never completion order).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism request: n > 0 means exactly n
+// workers; n <= 0 means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCells executes cell(i) for every i in [0, n) on a pool of at most
+// `workers` goroutines (resolved via Workers). workers == 1 runs the
+// cells serially on the calling goroutine — the exact serial semantics
+// the determinism tests compare against.
+//
+// Every cell runs even if an earlier cell fails (cells are independent
+// simulations; partial results stay valid). The returned error is the
+// one from the lowest-indexed failing cell, so error reporting is
+// deterministic under any schedule.
+func RunCells(workers, n int, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapCells runs cell(i) for every i in [0, n) on the bounded pool and
+// returns the results keyed by cell index (never completion order).
+func MapCells[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := RunCells(workers, n, func(i int) error {
+		v, err := cell(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestMapCellsOrdering: results are keyed by cell index, never by
+// completion order, at every parallelism level.
+func TestMapCellsOrdering(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 4, 0} {
+		got, err := MapCells(workers, n, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != i*i {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, got[i], i*i)
+			}
+		}
+	}
+}
+
+// TestRunCellsLowestError: the reported error is the lowest-indexed
+// failure regardless of schedule, and every cell still runs.
+func TestRunCellsLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := RunCells(workers, 16, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 11 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "cell 3") {
+			t.Fatalf("workers=%d: err = %v, want the lowest-indexed failure (cell 3)", workers, err)
+		}
+		if ran.Load() != 16 {
+			t.Fatalf("workers=%d: ran %d cells, want all 16 despite the failure", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	if err := RunCells(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCellsBoundedConcurrency: no more than `workers` cells are ever
+// in flight at once.
+func TestRunCellsBoundedConcurrency(t *testing.T) {
+	const workers, n = 2, 32
+	var inFlight, peak atomic.Int64
+	err := RunCells(workers, n, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			runtime.Gosched()
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}

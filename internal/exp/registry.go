@@ -18,9 +18,22 @@ import (
 // appBuilder constructs a workload at the given scale.
 type appBuilder func(input string, scale int, seed uint64) (*sim.App, error)
 
-// buildGraphInput generates the named graph input (stand-ins for the
-// paper's Table III inputs; see internal/graph).
+// buildGraphInput returns the named graph input, memoized per
+// (input, scale, seed) — see inputcache.go.
 func buildGraphInput(input string, scale int, seed uint64) (*graph.EdgeList, error) {
+	return CachedGraphInput(input, scale, seed)
+}
+
+// buildMatrixInput returns the named sparse-matrix input, memoized per
+// (input, scale, seed).
+func buildMatrixInput(input string, scale int, seed uint64) (*sparse.Matrix, error) {
+	return CachedMatrixInput(input, scale, seed)
+}
+
+// genGraphInput generates the named graph input (stand-ins for the
+// paper's Table III inputs; see internal/graph). Callers want the
+// memoized buildGraphInput instead.
+func genGraphInput(input string, scale int, seed uint64) (*graph.EdgeList, error) {
 	switch input {
 	case "KRON":
 		return graph.RMAT(scale, 16, seed), nil
@@ -37,8 +50,8 @@ func buildGraphInput(input string, scale int, seed uint64) (*graph.EdgeList, err
 	}
 }
 
-// buildMatrixInput generates the named sparse-matrix input.
-func buildMatrixInput(input string, scale int, seed uint64) (*sparse.Matrix, error) {
+// genMatrixInput generates the named sparse-matrix input.
+func genMatrixInput(input string, scale int, seed uint64) (*sparse.Matrix, error) {
 	n := 1 << scale
 	switch input {
 	case "STEN": // HPCG-style stencil (simulation problems)
@@ -163,27 +176,48 @@ func BuildApp(name, input string, scale int, seed uint64) (*sim.App, error) {
 // selecting the best bin range for each workload and input pair").
 var BinSweep = []int{16, 256, 4096, 16384, 65536}
 
-// BestPBSW sweeps bin counts and returns the fastest PB-SW run plus the
-// whole sweep (Figure 4's raw data).
-func BestPBSW(app *sim.App, arch sim.Arch) (best sim.Metrics, sweep []sim.Metrics, err error) {
+// validBins enumerates the sweep's bin counts applicable to app (the
+// independent cells of a sweep). A key range smaller than every sweep
+// point degenerates to a single 1-bin run, as before.
+func validBins(app *sim.App) []int {
+	var out []int
 	for _, bins := range BinSweep {
 		if bins > app.NumKeys {
 			break
 		}
-		m, e := sim.RunPBSW(app, bins, arch)
-		if e != nil {
-			return sim.Metrics{}, nil, e
-		}
-		sweep = append(sweep, m)
+		out = append(out, bins)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// BestPBSW sweeps bin counts and returns the fastest PB-SW run plus the
+// whole sweep (Figure 4's raw data). The sweep cells run on the default
+// worker pool (one worker per CPU); use BestPBSWN to bound it.
+func BestPBSW(app *sim.App, arch sim.Arch) (best sim.Metrics, sweep []sim.Metrics, err error) {
+	return BestPBSWN(app, arch, 0)
+}
+
+// BestPBSWN is BestPBSW on a bounded pool: the sweep's independent
+// (bin-count) cells run on at most `workers` goroutines (0 =
+// GOMAXPROCS, 1 = serial). The sweep slice is ordered by bin count and
+// `best` is the first strict minimum, regardless of schedule.
+func BestPBSWN(app *sim.App, arch sim.Arch, workers int) (best sim.Metrics, sweep []sim.Metrics, err error) {
+	bins := validBins(app)
+	sweep, err = MapCells(workers, len(bins), func(i int) (sim.Metrics, error) {
+		return sim.RunPBSW(app, bins[i], arch)
+	})
+	if err != nil {
+		return sim.Metrics{}, nil, err
+	}
+	for _, m := range sweep {
 		if best.Cycles == 0 || m.Cycles < best.Cycles {
 			best = m
 		}
 	}
-	if len(sweep) == 0 {
-		best, err = sim.RunPBSW(app, 1, arch)
-		sweep = []sim.Metrics{best}
-	}
-	return best, sweep, err
+	return best, sweep, nil
 }
 
 // BestIdealPB composes PB-SW-IDEAL from a sweep: the fastest Binning

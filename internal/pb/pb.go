@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"unsafe"
 
 	"cobra/internal/stats"
 )
@@ -256,15 +257,12 @@ func Run[V any](numItems, numKeys int, src Source[V], apply Apply[V], o Options)
 	return st
 }
 
-// updateSize approximates the byte size of an Update[V] for stats
-// without reflection on the hot path.
-func updateSize[V any]() int {
-	var u Update[V]
-	_ = u
-	// Key (4) + padded value; a precise size needs unsafe, which we
-	// avoid — estimate 4 + 8 which matches the common uint32/float64
-	// payloads used by the kernels.
-	return 12
+// updateSize returns the exact in-memory byte size of an Update[V]
+// (including alignment padding), resolved at compile time — so BinBytes
+// reports real allocation footprints for every payload type (8 B for
+// uint32 payloads, 16 B for uint64/float64, not a hardcoded estimate).
+func updateSize[V any]() uintptr {
+	return unsafe.Sizeof(Update[V]{})
 }
 
 // RunSeq is a single-goroutine convenience wrapper (Workers=1); exact

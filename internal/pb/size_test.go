@@ -1,0 +1,44 @@
+package pb
+
+import "testing"
+
+// TestUpdateSizePinned pins the exact Update[V] sizes BinBytes is
+// computed from. A uint32 payload packs to 8 B (no padding), a
+// uint64/float64 payload aligns to 16 B — the old hardcoded 12 B
+// estimate was wrong for both.
+func TestUpdateSizePinned(t *testing.T) {
+	if got := updateSize[uint32](); got != 8 {
+		t.Fatalf("Update[uint32] size = %d, want 8", got)
+	}
+	if got := updateSize[uint64](); got != 16 {
+		t.Fatalf("Update[uint64] size = %d, want 16", got)
+	}
+	if got := updateSize[float64](); got != 16 {
+		t.Fatalf("Update[float64] size = %d, want 16", got)
+	}
+	// A zero-size payload still pads the trailing field (Go reserves a
+	// byte so &u.Val never points past the struct), rounding up to 8.
+	if got := updateSize[struct{}](); got != 8 {
+		t.Fatalf("Update[struct{}] size = %d, want 8", got)
+	}
+}
+
+// TestBinBytesUsesRealSize checks the accounted storage equals
+// capacity x exact tuple size.
+func TestBinBytesUsesRealSize(t *testing.T) {
+	const n, k = 10000, 256
+	keys := randomKeys(5, n, k)
+	st := Run(n, k,
+		func(b, e int, emit func(uint32, uint32)) {
+			for _, key := range keys[b:e] {
+				emit(key, key)
+			}
+		},
+		func(uint32, uint32) {},
+		Options{NumBins: 16, Workers: 1})
+	// Exact pre-count: every bin's capacity equals its count, so
+	// BinBytes == updates * sizeof(Update[uint32]) == updates * 8.
+	if want := st.Updates * 8; st.BinBytes != want {
+		t.Fatalf("BinBytes = %d, want %d (8 B per uint32 tuple)", st.BinBytes, want)
+	}
+}
