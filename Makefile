@@ -1,11 +1,12 @@
 # Build/test entry points. `make ci` is the gate PRs must keep green:
 # vet + build + race-mode tests on the concurrency-bearing packages
 # (exp's worker pool and input memo, cache's shared-model users, pb's
-# parallel binning) + the full test suite.
+# parallel binning) + the full test suite + a short fuzz pass over the
+# hardened gio readers.
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench figures-quick fmt-check
+.PHONY: all build vet test race ci bench figures-quick fmt-check fuzz-smoke
 
 all: ci
 
@@ -23,7 +24,14 @@ test:
 race:
 	$(GO) test -race ./internal/exp ./internal/cache ./internal/pb
 
-ci: vet build race test
+# Short fuzz budget per gio reader target: enough to shake out decoder
+# panics and allocation bombs on every CI run without stalling it.
+# (Plain `go test` already replays each target's seed corpus.)
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadEdgeList$$' -fuzztime=10s ./internal/gio
+	$(GO) test -run='^$$' -fuzz='^FuzzReadCSR$$' -fuzztime=10s ./internal/gio
+
+ci: vet build race test fuzz-smoke
 
 # Hot-path microbenchmarks (packed cache metadata; PB binning).
 bench:

@@ -7,21 +7,44 @@
 //	figures -fig 10           # one figure
 //	figures -fig 13a -quick   # fast smoke run
 //	figures -fig 10 -parallel 1   # force serial cell execution
+//	figures -all -checkpoint run.ckpt      # journal completed cells
+//	figures -all -checkpoint run.ckpt -resume  # pick up where a run died
+//	figures -fig 10 -o fig10.txt  # crash-safe artifact (temp+rename)
 //	figures -list
 //
 // Simulation cells within a figure are independent and run on a
 // bounded worker pool; -parallel N bounds it (0 = one worker per CPU,
-// 1 = serial). Output is byte-identical at any parallelism.
+// 1 = serial). Output is byte-identical at any parallelism — and, with
+// -checkpoint/-resume, byte-identical across an interrupted+resumed
+// campaign, because replayed cells reproduce their recorded metrics
+// exactly.
+//
+// Fault tolerance:
+//
+//   - First SIGINT/SIGTERM: stop dispatching new cells, drain the ones
+//     in flight, flush the checkpoint journal, and exit 130. A second
+//     signal aborts immediately.
+//   - A panicking cell becomes a deterministic error naming the cell;
+//     the process survives and every other cell still runs.
+//   - -o writes the artifact via temp-file + rename: an interrupted or
+//     failed campaign never publishes a partial table file.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"cobra/internal/exp"
+	"cobra/internal/fsx"
 )
 
 type figureFn func(exp.Opts) (*exp.Table, error)
@@ -52,13 +75,17 @@ var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c",
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a4)")
-		all      = flag.Bool("all", false, "regenerate every figure")
-		quick    = flag.Bool("quick", false, "small-scale smoke run")
-		scale    = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
-		seed     = flag.Uint64("seed", 42, "generator seed")
-		list     = flag.Bool("list", false, "list figures, then exit")
-		parallel = flag.Int("parallel", 0, "worker pool size for simulation cells (0 = one per CPU, 1 = serial)")
+		fig         = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a6)")
+		all         = flag.Bool("all", false, "regenerate every figure")
+		quick       = flag.Bool("quick", false, "small-scale smoke run")
+		scale       = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
+		seed        = flag.Uint64("seed", 42, "generator seed")
+		list        = flag.Bool("list", false, "list figures, then exit")
+		parallel    = flag.Int("parallel", 0, "worker pool size for simulation cells (0 = one per CPU, 1 = serial)")
+		checkpoint  = flag.String("checkpoint", "", "journal completed cells to this file (JSONL, fsync'd per cell)")
+		resume      = flag.Bool("resume", false, "replay already-completed cells from the -checkpoint journal")
+		outPath     = flag.String("o", "", "write tables to this file atomically (temp-file + rename) instead of stdout")
+		cellTimeout = flag.Duration("cell-timeout", 0, "optional per-cell context deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -72,6 +99,11 @@ func main() {
 		return
 	}
 
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "figures: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
 	opts := exp.DefaultOpts()
 	if *quick {
 		opts = exp.QuickOpts()
@@ -81,32 +113,109 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	opts.CellTimeout = *cellTimeout
 
-	run := func(name string) {
+	// Two-stage signal handling: the first SIGINT/SIGTERM cancels the
+	// campaign context — workers stop claiming new cells, in-flight
+	// cells drain, and every drained cell still lands in the checkpoint
+	// journal. A second signal aborts the process immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "figures: interrupt — draining in-flight cells and flushing the checkpoint (signal again to abort)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "figures: aborted")
+		os.Exit(130)
+	}()
+	opts.Ctx = ctx
+
+	var journal *exp.Journal
+	if *checkpoint != "" {
+		var err error
+		journal, err = exp.OpenJournal(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if *resume && journal.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "figures: resuming — %d completed cells in %s\n", journal.Len(), *checkpoint)
+		}
+		opts.Journal = journal
+	}
+
+	// Tables accumulate in memory when -o is set, so a failed or
+	// interrupted campaign never publishes a partial artifact.
+	var out io.Writer = os.Stdout
+	var artifact bytes.Buffer
+	if *outPath != "" {
+		out = &artifact
+	}
+
+	run := func(name string) error {
 		fn, ok := figures[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", name)
-			os.Exit(1)
+			return fmt.Errorf("unknown figure %q", name)
 		}
 		start := time.Now()
 		t, err := fn(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		t.Notes = append(t.Notes, fmt.Sprintf("regenerated in %v at scale %d", time.Since(start).Round(time.Millisecond), opts.Scale))
-		t.Fprint(os.Stdout)
+		// Timing goes to stderr: table bytes stay a deterministic
+		// function of (scale, seed, arch), which is what makes resumed
+		// output byte-identical to an uninterrupted run.
+		fmt.Fprintf(os.Stderr, "figures: %s regenerated in %v at scale %d\n",
+			name, time.Since(start).Round(time.Millisecond), opts.Scale)
+		t.Fprint(out)
+		return nil
 	}
 
+	var runErr error
 	switch {
 	case *all:
 		for _, name := range order {
-			run(name)
+			if runErr = run(name); runErr != nil {
+				break
+			}
 		}
 	case *fig != "":
-		run(*fig)
+		runErr = run(*fig)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if journal != nil {
+		replayed, recorded := journal.Stats()
+		fmt.Fprintf(os.Stderr, "figures: checkpoint %s: %d cells replayed, %d newly recorded\n",
+			*checkpoint, replayed, recorded)
+		if err := journal.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("closing checkpoint: %w", err)
+		}
+	}
+
+	switch {
+	case runErr == nil:
+		if *outPath != "" {
+			if err := fsx.WriteFileAtomicBytes(*outPath, artifact.Bytes()); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "figures: wrote %s (%d bytes)\n", *outPath, artifact.Len())
+		}
+	case errors.Is(runErr, exp.ErrInterrupted):
+		msg := "figures: interrupted"
+		if *checkpoint != "" {
+			msg += fmt.Sprintf("; completed cells saved — re-run with -checkpoint %s -resume to continue", *checkpoint)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	default:
+		fmt.Fprintf(os.Stderr, "figures: %v\n", runErr)
+		os.Exit(1)
 	}
 }

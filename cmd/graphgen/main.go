@@ -11,25 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"cobra/internal/fsx"
 	"cobra/internal/gio"
 	"cobra/internal/graph"
 	"cobra/internal/sparse"
 )
-
-// writeFile creates path and hands it to write, closing on all paths.
-func writeFile(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
 
 func main() {
 	var (
@@ -92,7 +81,10 @@ func main() {
 		ds := graph.Degrees(el)
 		fmt.Printf("%s scale=%d: %d vertices, %d edges\n", *input, *scale, ds.N, ds.M)
 		if *out != "" {
-			if err := writeFile(*out, func(f *os.File) error { return gio.WriteEdgeList(f, el) }); err != nil {
+			// Atomic temp+rename with fsync: a crash or full disk never
+			// leaves a truncated input file for later runs to trip over
+			// (write/close/sync errors all propagate).
+			if err := fsx.WriteFileAtomic(*out, func(w io.Writer) error { return gio.WriteEdgeList(w, el) }); err != nil {
 				fmt.Fprintln(os.Stderr, "graphgen:", err)
 				os.Exit(1)
 			}
@@ -126,7 +118,7 @@ func main() {
 		fmt.Printf("%s scale=%d: %d x %d, %d nnz (%.2f per row)\n",
 			*matrix, *scale, m.Rows, m.Cols, m.NNZ(), float64(m.NNZ())/float64(m.Rows))
 		if *out != "" {
-			if err := writeFile(*out, func(f *os.File) error { return gio.WriteMatrix(f, m) }); err != nil {
+			if err := fsx.WriteFileAtomic(*out, func(w io.Writer) error { return gio.WriteMatrix(w, m) }); err != nil {
 				fmt.Fprintln(os.Stderr, "graphgen:", err)
 				os.Exit(1)
 			}

@@ -25,8 +25,10 @@ func AblationPrefetcher(o Opts) (*Table, error) {
 		Title:  "L2 stream prefetcher on/off (Neighbor-Populate, KRON)",
 		Header: []string{"prefetcher", "scheme", "cycles", "DRAM-reads"},
 	}
-	// One cell per (prefetcher-setting, scheme) point.
-	rows, err := MapCells(o.workers(), 4, func(i int) ([]string, error) {
+	// One cell per (prefetcher-setting, scheme) point. The modified
+	// architectures get their own fingerprints, so checkpoints recorded
+	// with the prefetcher off are never replayed for the on-config.
+	rows, err := mapCells(o, 4, func(i int) ([]string, error) {
 		pf, scheme := i/2 == 0, i%2
 		arch := o.Arch
 		label := "on"
@@ -34,14 +36,17 @@ func AblationPrefetcher(o Opts) (*Table, error) {
 			arch.Mem.PrefetchDegree = 0
 			label = "off"
 		}
+		key := CellKey{Figure: "Ablation A1", App: "NeighborPopulate", Input: "KRON", Arch: ArchFingerprint(arch)}
 		if scheme == 0 {
-			base, err := sim.RunBaseline(app, arch)
+			key.Scheme = "Baseline"
+			base, err := o.journaled(key, func() (sim.Metrics, error) { return sim.RunBaseline(app, arch) })
 			if err != nil {
 				return nil, err
 			}
 			return []string{label, "Baseline", fe(base.Cycles), fmt.Sprintf("%d", base.DRAM.ReadLines)}, nil
 		}
-		pbm, err := sim.RunPBSW(app, 4096, arch)
+		key.Scheme, key.Bins = "PB-SW", 4096
+		pbm, err := o.journaled(key, func() (sim.Metrics, error) { return sim.RunPBSW(app, 4096, arch) })
 		if err != nil {
 			return nil, err
 		}
@@ -68,10 +73,12 @@ func AblationLLCPolicy(o Opts) (*Table, error) {
 		Header: []string{"policy", "cycles", "LLC-miss-rate"},
 	}
 	policies := []cache.PolicyKind{cache.DRRIP, cache.TrueLRU, cache.Random}
-	rows, err := MapCells(o.workers(), len(policies), func(i int) ([]string, error) {
+	rows, err := mapCells(o, len(policies), func(i int) ([]string, error) {
 		arch := o.Arch
 		arch.Mem.LLC.Policy = policies[i]
-		m, err := sim.RunBaseline(app, arch)
+		m, err := o.journaled(CellKey{Figure: "Ablation A2", App: "DegreeCount", Input: "URND",
+			Scheme: "Baseline", Arch: ArchFingerprint(arch)},
+			func() (sim.Metrics, error) { return sim.RunBaseline(app, arch) })
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +106,10 @@ func AblationPINV(o Opts) (*Table, error) {
 		Header: []string{"LLC-bufs", "binning-cyc", "accum-cyc", "total-cyc"},
 	}
 	caps := []int{0, 1024, 256, 64} // 0 = uncapped default
-	ms, err := MapCells(o.workers(), len(caps), func(i int) (sim.Metrics, error) {
-		return sim.RunCOBRA(app, sim.CobraOpt{MaxLLCBufs: caps[i]}, o.Arch)
+	ms, err := mapCells(o, len(caps), func(i int) (sim.Metrics, error) {
+		return o.journaled(CellKey{Figure: "Ablation A3", App: "PINV", Input: "PERM",
+			Scheme: fmt.Sprintf("COBRA[maxllcbufs=%d]", caps[i])},
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, sim.CobraOpt{MaxLLCBufs: caps[i]}, o.Arch) })
 	})
 	if err != nil {
 		return nil, err
@@ -127,17 +136,21 @@ func AblationNoPartition(o Opts) (*Table, error) {
 		Header: []string{"app", "input", "cbuf-miss-rate", "binning-vs-partitioned"},
 	}
 	pairs := []pair{{"NeighborPopulate", "KRON"}, {"DegreeCount", "URND"}}
-	rows, err := MapCells(o.workers(), len(pairs), func(i int) ([]string, error) {
+	rows, err := mapCells(o, len(pairs), func(i int) ([]string, error) {
 		p := pairs[i]
 		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
 		if err != nil {
 			return nil, err
 		}
-		ref, err := sim.RunCOBRA(app, sim.CobraOpt{SkipAccum: true}, o.Arch)
+		ref, err := o.journaled(CellKey{Figure: "Ablation A5", App: p.App, Input: p.Input, Scheme: "COBRA[skipaccum]"},
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, sim.CobraOpt{SkipAccum: true}, o.Arch) })
 		if err != nil {
 			return nil, err
 		}
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{NoPartition: true, SkipAccum: true}, o.Arch)
+		m, err := o.journaled(CellKey{Figure: "Ablation A5", App: p.App, Input: p.Input, Scheme: "COBRA[nopart,skipaccum]"},
+			func() (sim.Metrics, error) {
+				return sim.RunCOBRA(app, sim.CobraOpt{NoPartition: true, SkipAccum: true}, o.Arch)
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -165,14 +178,17 @@ func AblationMLP(o Opts) (*Table, error) {
 		Header: []string{"MSHRs", "baseline-cyc", "PB-SW-cyc", "PB-speedup"},
 	}
 	mshrSweep := []int{1, 4, 10, 16}
-	rows, err := MapCells(o.workers(), len(mshrSweep), func(i int) ([]string, error) {
+	rows, err := mapCells(o, len(mshrSweep), func(i int) ([]string, error) {
 		arch := o.Arch
 		arch.CPU.MSHRs = mshrSweep[i]
-		base, err := sim.RunBaseline(app, arch)
+		af := ArchFingerprint(arch)
+		base, err := o.journaled(CellKey{Figure: "Ablation A4", App: "DegreeCount", Input: "URND", Scheme: "Baseline", Arch: af},
+			func() (sim.Metrics, error) { return sim.RunBaseline(app, arch) })
 		if err != nil {
 			return nil, err
 		}
-		pbm, err := sim.RunPBSW(app, 4096, arch)
+		pbm, err := o.journaled(CellKey{Figure: "Ablation A4", App: "DegreeCount", Input: "URND", Scheme: "PB-SW", Bins: 4096, Arch: af},
+			func() (sim.Metrics, error) { return sim.RunPBSW(app, 4096, arch) })
 		if err != nil {
 			return nil, err
 		}
@@ -200,18 +216,21 @@ func AblationNUCA(o Opts) (*Table, error) {
 		Title:  "NUCA mesh latency on the shared-LLC view (DegreeCount, URND)",
 		Header: []string{"NUCA", "baseline-cyc", "COBRA-cyc", "COBRA-speedup"},
 	}
-	rows, err := MapCells(o.workers(), 2, func(i int) ([]string, error) {
+	rows, err := mapCells(o, 2, func(i int) ([]string, error) {
 		arch := o.Arch
 		label := "off (local slice)"
 		if i == 1 {
 			arch.Mem.NUCA = mem.DefaultNUCA()
 			label = "on (4x4 mesh)"
 		}
-		base, err := sim.RunBaseline(app, arch)
+		af := ArchFingerprint(arch)
+		base, err := o.journaled(CellKey{Figure: "Ablation A6", App: "DegreeCount", Input: "URND", Scheme: "Baseline", Arch: af},
+			func() (sim.Metrics, error) { return sim.RunBaseline(app, arch) })
 		if err != nil {
 			return nil, err
 		}
-		cob, err := sim.RunCOBRA(app, sim.CobraOpt{}, arch)
+		cob, err := o.journaled(CellKey{Figure: "Ablation A6", App: "DegreeCount", Input: "URND", Scheme: "COBRA", Arch: af},
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, sim.CobraOpt{}, arch) })
 		if err != nil {
 			return nil, err
 		}

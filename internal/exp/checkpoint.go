@@ -1,0 +1,245 @@
+package exp
+
+// Checkpoint journal: crash-safe campaign resume.
+//
+// A full figure campaign is hours of independent simulation cells; a
+// Ctrl-C, OOM kill, or panicking cell used to throw all completed work
+// away. The Journal records every finished cell as one JSON line —
+// keyed by a stable fingerprint of everything that determines the
+// cell's metrics (figure, app, input, scale, seed, scheme, bins, arch)
+// — in an append-only file that is fsync'd after every append. A
+// resumed run (`figures -resume`) looks each cell up before simulating:
+// hits replay the recorded sim.Metrics verbatim, so the resumed
+// output is byte-identical to an uninterrupted run (Go's JSON float64
+// encoding round-trips exactly, and every derived table string is a
+// pure function of the metrics).
+//
+// Crash tolerance on the journal itself: a process killed mid-append
+// leaves at most one truncated final line, which Open(resume=true)
+// drops silently. Corruption anywhere earlier is an error — a journal
+// with a damaged interior is not trustworthy enough to skip work from.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"cobra/internal/sim"
+)
+
+// CellKey is the stable identity of one simulation cell. Two cells with
+// equal keys are guaranteed to produce identical metrics (simulations
+// are deterministic functions of these fields), so a journal hit can
+// replay the recorded result.
+type CellKey struct {
+	Figure string // campaign unit ("suite", "Figure 4", "Ablation A2", ...)
+	App    string
+	Input  string
+	Scale  int
+	Seed   uint64
+	Scheme string // scheme plus any variant knobs ("COBRA[evict=8]")
+	Bins   int
+	Arch   string // ArchFingerprint of the cell's architecture
+}
+
+// fingerprint renders the key as the canonical journal string.
+func (k CellKey) fingerprint() string {
+	return fmt.Sprintf("fig=%s|app=%s|in=%s|scale=%d|seed=%d|scheme=%s|bins=%d|arch=%s",
+		k.Figure, k.App, k.Input, k.Scale, k.Seed, k.Scheme, k.Bins, k.Arch)
+}
+
+// ArchFingerprint digests an architecture configuration into a short
+// stable token. Any config change (cache geometry, policies, MSHRs,
+// NUCA, prefetcher) changes the fingerprint, so checkpoints recorded
+// under one architecture are never replayed under another.
+func ArchFingerprint(a sim.Arch) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", a)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// journalEntry is one line of the JSONL journal.
+type journalEntry struct {
+	K string      `json:"k"`
+	M sim.Metrics `json:"m"`
+}
+
+// ErrJournalCorrupt reports interior damage in a checkpoint journal
+// (anything other than a truncated final line).
+var ErrJournalCorrupt = errors.New("exp: checkpoint journal corrupt")
+
+// Journal is the append-only, fsync'd record of completed cells.
+// Safe for concurrent use by parallel cells.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	cells map[string]sim.Metrics
+
+	replayed uint64 // lookups served from the journal
+	recorded uint64 // cells appended this run
+
+	// onRecord, when set, observes the total number of appends after
+	// each Record — the test hook that cancels a campaign after exactly
+	// K completed cells.
+	onRecord func(total uint64)
+}
+
+// OpenJournal opens (or creates) the journal at path. With resume=true
+// any existing entries are loaded and will be replayed; with
+// resume=false an existing journal is discarded and the campaign
+// starts from scratch.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path, cells: map[string]sim.Metrics{}}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: opening checkpoint journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load reads every complete entry from an existing journal file. A
+// truncated final line (crash mid-append) is tolerated and dropped;
+// damage anywhere else is ErrJournalCorrupt.
+func (j *Journal) load() error {
+	f, err := os.Open(j.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // nothing to resume from yet
+	}
+	if err != nil {
+		return fmt.Errorf("exp: opening checkpoint journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var lines [][]byte
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("exp: reading checkpoint journal: %w", err)
+	}
+	for i, line := range lines {
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
+			if i == len(lines)-1 {
+				// Torn final append from a crash — drop it; the cell
+				// simply re-runs.
+				continue
+			}
+			return fmt.Errorf("%w: %s line %d", ErrJournalCorrupt, j.path, i+1)
+		}
+		j.cells[e.K] = e.M
+	}
+	return nil
+}
+
+// Lookup returns the recorded metrics for key, if the cell already
+// completed in a previous (or the current) run.
+func (j *Journal) Lookup(key CellKey) (sim.Metrics, bool) {
+	fp := key.fingerprint()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m, ok := j.cells[fp]
+	if ok {
+		j.replayed++
+	}
+	return m, ok
+}
+
+// Record appends one completed cell and fsyncs the journal, so the
+// entry survives any subsequent crash. Append-only + O_APPEND keeps
+// concurrent recorders from interleaving partial lines.
+func (j *Journal) Record(key CellKey, m sim.Metrics) error {
+	line, err := json.Marshal(journalEntry{K: key.fingerprint(), M: m})
+	if err != nil {
+		return fmt.Errorf("exp: encoding checkpoint entry: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("exp: appending checkpoint entry: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("exp: syncing checkpoint journal: %w", err)
+	}
+	j.cells[key.fingerprint()] = m
+	j.recorded++
+	if j.onRecord != nil {
+		j.onRecord(j.recorded)
+	}
+	return nil
+}
+
+// Len returns the number of distinct completed cells known.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// Stats reports how many cells were replayed from the journal and how
+// many were newly recorded during this run.
+func (j *Journal) Stats() (replayed, recorded uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed, j.recorded
+}
+
+// Close flushes and closes the journal file. The journal must not be
+// used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// journaled runs one simulation cell through o's checkpoint journal:
+// a hit replays the recorded metrics without simulating; a miss runs
+// the cell and records the result durably before returning. Without a
+// journal it is a plain call. Common key fields (Scale, Seed, Arch)
+// are filled from o unless the caller already set them (ablations pass
+// an explicit fingerprint for their modified architectures).
+func (o Opts) journaled(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics, error) {
+	if o.Journal == nil {
+		return run()
+	}
+	k.Scale, k.Seed = o.Scale, o.Seed
+	if k.Arch == "" {
+		k.Arch = ArchFingerprint(o.Arch)
+	}
+	if m, ok := o.Journal.Lookup(k); ok {
+		return m, nil
+	}
+	m, err := run()
+	if err != nil {
+		return m, err
+	}
+	if err := o.Journal.Record(k, m); err != nil {
+		return m, err
+	}
+	return m, nil
+}

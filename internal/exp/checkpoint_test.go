@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cobra/internal/sim"
+)
+
+func TestCellKeyFingerprint(t *testing.T) {
+	a := CellKey{Figure: "suite", App: "PageRank", Input: "KRON", Scale: 20, Seed: 42, Scheme: "PB-SW", Bins: 256, Arch: "abc"}
+	b := a
+	if a.fingerprint() != b.fingerprint() {
+		t.Fatal("equal keys, different fingerprints")
+	}
+	b.Bins = 4096
+	if a.fingerprint() == b.fingerprint() {
+		t.Fatal("bin count not part of the fingerprint")
+	}
+	c := a
+	c.Arch = "def"
+	if a.fingerprint() == c.fingerprint() {
+		t.Fatal("arch not part of the fingerprint")
+	}
+}
+
+func TestArchFingerprintSensitivity(t *testing.T) {
+	a := sim.DefaultArch()
+	b := sim.DefaultArch()
+	if ArchFingerprint(a) != ArchFingerprint(b) {
+		t.Fatal("identical archs, different fingerprints")
+	}
+	b.CPU.MSHRs++
+	if ArchFingerprint(a) == ArchFingerprint(b) {
+		t.Fatal("MSHR change not reflected in arch fingerprint")
+	}
+}
+
+func TestJournalRecordReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellKey{Figure: "f", App: "A", Input: "I", Scale: 12, Seed: 7, Scheme: "Baseline", Arch: "x"}
+	k2 := k1
+	k2.Scheme, k2.Bins = "PB-SW", 256
+	m1 := sim.Metrics{App: "A", Cycles: 123.456789012345, NumBins: 1}
+	m2 := sim.Metrics{App: "A", Cycles: 9.87e12, NumBins: 256}
+	m2.Ctr.Instructions = 1<<63 + 12345 // must survive JSON exactly (not via float64)
+	if err := j.Record(k1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(k2, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("reloaded %d cells, want 2", r.Len())
+	}
+	got, ok := r.Lookup(k2)
+	if !ok {
+		t.Fatal("k2 missing after reload")
+	}
+	if got.Cycles != m2.Cycles || got.Ctr.Instructions != m2.Ctr.Instructions || got.NumBins != 256 {
+		t.Fatalf("metrics changed across the journal: %+v", got)
+	}
+	if _, ok := r.Lookup(CellKey{Figure: "f", App: "other"}); ok {
+		t.Fatal("lookup hit for an unknown key")
+	}
+}
+
+// TestJournalFreshOpenDiscards: opening without resume starts a new
+// campaign — old entries must not be replayed.
+func TestJournalFreshOpenDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	k := CellKey{Figure: "f", App: "A"}
+	if err := j.Record(k, sim.Metrics{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 0 {
+		t.Fatal("fresh open replayed stale entries")
+	}
+}
+
+// TestJournalTornTailTolerated: a crash mid-append leaves a truncated
+// final line; resume must keep every complete entry and drop the tail.
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	k := CellKey{Figure: "f", App: "A", Scheme: "Baseline"}
+	if err := j.Record(k, sim.Metrics{Cycles: 42}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate the crash: append half a JSON line without newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"k":"fig=half|app=`)
+	f.Close()
+
+	r, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Fatalf("kept %d cells, want 1", r.Len())
+	}
+	if _, ok := r.Lookup(k); !ok {
+		t.Fatal("complete entry lost")
+	}
+}
+
+// TestJournalInteriorCorruptionRejected: damage before the final line
+// means the journal cannot be trusted — resume must refuse loudly
+// rather than silently skip simulations.
+func TestJournalInteriorCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	j.Record(CellKey{Figure: "f", App: "A"}, sim.Metrics{Cycles: 1})
+	j.Record(CellKey{Figure: "f", App: "B"}, sim.Metrics{Cycles: 2})
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[2] = 0xff // damage the first line
+	os.WriteFile(path, data, 0o644)
+	if _, err := OpenJournal(path, true); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestJournalResumeMissingFile: resuming with no journal yet is a
+// fresh start, not an error (first run of a campaign).
+func TestJournalResumeMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.ckpt")
+	j, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 0 {
+		t.Fatal("phantom entries")
+	}
+}
+
+// TestCampaignInterruptResume is the acceptance test for the tentpole:
+// cancel a Fig10 campaign after K completed cells, then resume from the
+// journal — the final table bytes must equal an uninterrupted serial
+// run, and the resumed run must replay (not re-simulate) the completed
+// cells.
+func TestCampaignInterruptResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign resume test skipped in -short mode")
+	}
+	o := tinyOpts()
+	o.Parallel = 1
+
+	// Reference: uninterrupted serial run, no journal.
+	ResetMemos()
+	want := renderFigure(t, Fig10, o)
+
+	// Interrupted run: cancel the campaign after K recorded cells.
+	path := filepath.Join(t.TempDir(), "fig10.ckpt")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stopAfter = 7
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.onRecord = func(total uint64) {
+		if total == stopAfter {
+			cancel()
+		}
+	}
+	ResetMemos()
+	run1 := o
+	run1.Ctx = ctx
+	run1.Journal = j
+	_, err = Fig10(run1)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted campaign: err = %v, want ErrInterrupted", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: completed cells replay from the journal, the rest run.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() < stopAfter {
+		t.Fatalf("journal holds %d cells, want >= %d", j2.Len(), stopAfter)
+	}
+	ResetMemos()
+	run2 := o
+	run2.Journal = j2
+	got := renderFigure(t, Fig10, run2)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+	replayed, recorded := j2.Stats()
+	if replayed < stopAfter {
+		t.Fatalf("resume replayed %d cells, want >= %d", replayed, stopAfter)
+	}
+	if recorded == 0 {
+		t.Fatal("resume recorded no new cells — interrupt happened after completion?")
+	}
+
+	// A third run with the now-complete journal is pure replay.
+	j3, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	ResetMemos()
+	run3 := o
+	run3.Journal = j3
+	again := renderFigure(t, Fig10, run3)
+	if !bytes.Equal(want, again) {
+		t.Fatal("pure-replay output differs")
+	}
+	if _, rec := j3.Stats(); rec != 0 {
+		t.Fatalf("pure replay still simulated %d cells", rec)
+	}
+}
+
+// TestJournaledPassThrough: without a journal, o.journaled is a plain
+// call; with one, errors are not recorded.
+func TestJournaledPassThrough(t *testing.T) {
+	o := tinyOpts()
+	m, err := o.journaled(CellKey{Figure: "x"}, func() (sim.Metrics, error) {
+		return sim.Metrics{Cycles: 5}, nil
+	})
+	if err != nil || m.Cycles != 5 {
+		t.Fatalf("pass-through broken: %v %v", m, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	j, _ := OpenJournal(path, false)
+	defer j.Close()
+	o.Journal = j
+	boom := errors.New("sim failed")
+	if _, err := o.journaled(CellKey{Figure: "x", App: "A"}, func() (sim.Metrics, error) {
+		return sim.Metrics{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatal("failed cell recorded as completed")
+	}
+	// Error text should be the cell's own error, not journal noise.
+	if !strings.Contains(boom.Error(), "sim failed") {
+		t.Fatal("unexpected")
+	}
+}

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"cobra/internal/sim"
 	"cobra/internal/stats"
@@ -17,10 +19,45 @@ type Opts struct {
 	// simulation cells run on: 0 = one worker per CPU (GOMAXPROCS),
 	// 1 = serial. Output is byte-identical at any setting.
 	Parallel int
+
+	// Ctx, when non-nil, governs the campaign: cancelling it stops the
+	// dispatch of new simulation cells (in-flight cells drain) and the
+	// figure returns an ErrInterrupted-wrapping error.
+	Ctx context.Context
+	// CellTimeout, when > 0, bounds each cell's context lifetime (see
+	// WithCellTimeout).
+	CellTimeout time.Duration
+	// Journal, when non-nil, checkpoints every completed simulation
+	// cell and replays already-completed cells on resume (see
+	// checkpoint.go).
+	Journal *Journal
 }
 
 // workers resolves the pool size for this regeneration.
 func (o Opts) workers() int { return Workers(o.Parallel) }
+
+// ctx resolves the campaign context, including the per-cell timeout.
+func (o Opts) ctx() context.Context {
+	c := o.Ctx
+	if c == nil {
+		c = context.Background()
+	}
+	if o.CellTimeout > 0 {
+		c = WithCellTimeout(c, o.CellTimeout)
+	}
+	return c
+}
+
+// mapCells runs a figure's independent cells under o's campaign
+// controls: bounded pool, cancellation-with-drain, per-cell panic
+// isolation, and the optional per-cell timeout. Every figure driver
+// schedules through this (never raw goroutines), so one Ctrl-C drains
+// every figure the same way.
+func mapCells[T any](o Opts, n int, cell func(i int) (T, error)) ([]T, error) {
+	return MapCellsCtx(o.ctx(), o.Parallel, n, func(_ context.Context, i int) (T, error) {
+		return cell(i)
+	})
+}
 
 // DefaultOpts returns the standard experiment configuration. Scale 20
 // (1 Mi keys) keeps per-core irregular working sets 2–16× the 2 MB LLC
@@ -65,25 +102,47 @@ func Fig2(o Opts) (*Table, error) {
 		Header: []string{"app", "input", "LLC-miss-rate", "L1-MPKI", "DRAM-lines"},
 	}
 	suite := DefaultSuite()
-	rows, err := MapCells(o.workers(), len(suite), func(i int) ([]string, error) {
+	ms, err := mapCells(o, len(suite), func(i int) (sim.Metrics, error) {
 		p := suite[i]
-		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		m, err := sim.RunBaseline(app, o.Arch)
-		if err != nil {
-			return nil, err
-		}
-		mpki := 1000 * float64(m.L1Misses) / float64(m.Ctr.Instructions)
-		return []string{p.App, p.Input, fp(m.LLCMissRate), f2(mpki),
-			fmt.Sprintf("%d", m.DRAM.ReadLines+m.DRAM.WriteLines)}, nil
+		return o.journaled(CellKey{Figure: "Figure 2", App: p.App, Input: p.Input, Scheme: "Baseline"},
+			func() (sim.Metrics, error) {
+				app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
+				if err != nil {
+					return sim.Metrics{}, err
+				}
+				return sim.RunBaseline(app, o.Arch)
+			})
 	})
 	if err != nil {
 		return nil, err
 	}
-	t.Rows = rows
+	for i, p := range suite {
+		m := ms[i]
+		mpki := 1000 * float64(m.L1Misses) / float64(m.Ctr.Instructions)
+		t.AddRow(p.App, p.Input, fp(m.LLCMissRate), f2(mpki),
+			fmt.Sprintf("%d", m.DRAM.ReadLines+m.DRAM.WriteLines))
+	}
 	return t, nil
+}
+
+// bestPBSW is the journaled, campaign-aware PB-SW sweep: the sweep's
+// independent (bin-count) cells run under o's context on o's pool and
+// each completed cell is checkpointed per (figure, app, input, bins).
+func bestPBSW(o Opts, fig string, app *sim.App) (best sim.Metrics, sweep []sim.Metrics, err error) {
+	bins := validBins(app)
+	sweep, err = mapCells(o, len(bins), func(i int) (sim.Metrics, error) {
+		return o.journaled(CellKey{Figure: fig, App: app.Name, Input: app.InputName, Scheme: "PB-SW", Bins: bins[i]},
+			func() (sim.Metrics, error) { return sim.RunPBSW(app, bins[i], o.Arch) })
+	})
+	if err != nil {
+		return sim.Metrics{}, nil, err
+	}
+	for _, m := range sweep {
+		if best.Cycles == 0 || m.Cycles < best.Cycles {
+			best = m
+		}
+	}
+	return best, sweep, nil
 }
 
 // Fig4 regenerates Figure 4: Binning vs Accumulate sensitivity to the
@@ -99,7 +158,7 @@ func Fig4(o Opts) (*Table, error) {
 		Title:  "PB bin-count sensitivity (Neighbor-Populate, KRON)",
 		Header: []string{"bins", "binning-cyc", "accum-cyc", "total-cyc", "bin-L2miss", "bin-LLCmiss", "bin-DRAMrd", "acc-L1miss"},
 	}
-	best, sweep, err := BestPBSWN(app, o.Arch, o.workers())
+	best, sweep, err := bestPBSW(o, "Figure 4", app)
 	if err != nil {
 		return nil, err
 	}
@@ -151,18 +210,17 @@ func Table1(o Opts) (*Table, error) {
 		Header: []string{"bins", "init%", "binning%", "accumulate%"},
 	}
 	binCounts := []int{64, 4096}
-	rows, err := MapCells(o.workers(), len(binCounts), func(i int) ([]string, error) {
-		m, err := sim.RunPBSW(app, binCounts[i], o.Arch)
-		if err != nil {
-			return nil, err
-		}
-		return []string{fmt.Sprintf("%d", m.NumBins),
-			fp(m.InitCycles / m.Cycles), fp(m.BinCycles / m.Cycles), fp(m.AccumCycles / m.Cycles)}, nil
+	ms, err := mapCells(o, len(binCounts), func(i int) (sim.Metrics, error) {
+		return o.journaled(CellKey{Figure: "Table I", App: "NeighborPopulate", Input: "KRON", Scheme: "PB-SW", Bins: binCounts[i]},
+			func() (sim.Metrics, error) { return sim.RunPBSW(app, binCounts[i], o.Arch) })
 	})
 	if err != nil {
 		return nil, err
 	}
-	t.Rows = rows
+	for _, m := range ms {
+		t.AddRow(fmt.Sprintf("%d", m.NumBins),
+			fp(m.InitCycles/m.Cycles), fp(m.BinCycles/m.Cycles), fp(m.AccumCycles/m.Cycles))
+	}
 	t.Notes = append(t.Notes, "paper: Init ~6%, Binning is the dominant phase")
 	return t, nil
 }
@@ -205,10 +263,9 @@ func runSuite(o Opts) ([]suiteResult, error) {
 	suiteMu.Unlock()
 
 	pairs := DefaultSuite()
-	workers := o.workers()
 
 	// Stage 1: build apps.
-	apps, err := MapCells(workers, len(pairs), func(i int) (*sim.App, error) {
+	apps, err := mapCells(o, len(pairs), func(i int) (*sim.App, error) {
 		return BuildApp(pairs[i].App, pairs[i].Input, o.Scale, o.Seed)
 	})
 	if err != nil {
@@ -232,15 +289,23 @@ func runSuite(o Opts) ([]suiteResult, error) {
 		}
 		cells = append(cells, cellID{p, kindCOBRA, 0})
 	}
-	res, err := MapCells(workers, len(cells), func(i int) (sim.Metrics, error) {
+	// Each cell is journaled under the shared "suite" campaign unit, so
+	// Figures 5/10/11/12 (which all derive from runSuite) resume from
+	// the same completed-cell set.
+	res, err := mapCells(o, len(cells), func(i int) (sim.Metrics, error) {
 		c := cells[i]
+		p := pairs[c.pair]
+		key := CellKey{Figure: "suite", App: p.App, Input: p.Input, Bins: c.bins}
 		switch c.kind {
 		case kindBase:
-			return sim.RunBaseline(apps[c.pair], o.Arch)
+			key.Scheme = "Baseline"
+			return o.journaled(key, func() (sim.Metrics, error) { return sim.RunBaseline(apps[c.pair], o.Arch) })
 		case kindPBSW:
-			return sim.RunPBSW(apps[c.pair], c.bins, o.Arch)
+			key.Scheme = "PB-SW"
+			return o.journaled(key, func() (sim.Metrics, error) { return sim.RunPBSW(apps[c.pair], c.bins, o.Arch) })
 		default:
-			return sim.RunCOBRA(apps[c.pair], sim.CobraOpt{}, o.Arch)
+			key.Scheme = "COBRA"
+			return o.journaled(key, func() (sim.Metrics, error) { return sim.RunCOBRA(apps[c.pair], sim.CobraOpt{}, o.Arch) })
 		}
 	})
 	if err != nil {
@@ -357,28 +422,27 @@ func Fig13a(o Opts) (*Table, error) {
 	}
 	sizes := []int{1, 2, 4, 8, 16, 32, 64}
 	inputs := []string{"KRON", "URND", "ROAD"}
-	workers := o.workers()
-	apps, err := MapCells(workers, len(inputs), func(i int) (*sim.App, error) {
+	apps, err := mapCells(o, len(inputs), func(i int) (*sim.App, error) {
 		return BuildApp("NeighborPopulate", inputs[i], o.Scale, o.Seed)
 	})
 	if err != nil {
 		return nil, err
 	}
 	// One cell per (input, buffer-size) point.
-	fracs, err := MapCells(workers, len(inputs)*len(sizes), func(i int) (float64, error) {
-		app, e := apps[i/len(sizes)], sizes[i%len(sizes)]
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{EvictBufL1L2: e, SkipAccum: true}, o.Arch)
-		if err != nil {
-			return 0, err
-		}
-		return m.EvictStallFrac, nil
+	ms, err := mapCells(o, len(inputs)*len(sizes), func(i int) (sim.Metrics, error) {
+		input, e := inputs[i/len(sizes)], sizes[i%len(sizes)]
+		return o.journaled(CellKey{Figure: "Figure 13a", App: "NeighborPopulate", Input: input,
+			Scheme: fmt.Sprintf("COBRA[evict=%d,skipaccum]", e)},
+			func() (sim.Metrics, error) {
+				return sim.RunCOBRA(apps[i/len(sizes)], sim.CobraOpt{EvictBufL1L2: e, SkipAccum: true}, o.Arch)
+			})
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, e := range sizes {
 		t.AddRow(fmt.Sprintf("%d", e),
-			fp(fracs[0*len(sizes)+i]), fp(fracs[1*len(sizes)+i]), fp(fracs[2*len(sizes)+i]))
+			fp(ms[0*len(sizes)+i].EvictStallFrac), fp(ms[1*len(sizes)+i].EvictStallFrac), fp(ms[2*len(sizes)+i].EvictStallFrac))
 	}
 	t.Notes = append(t.Notes, "paper: a 32-entry buffer hides eviction latency for all inputs")
 	return t, nil
@@ -412,8 +476,14 @@ func Fig13b(o Opts) (*Table, error) {
 	for _, w := range []int{4, 8, 12, 15} {
 		cells = append(cells, wayCell{"LLC", sim.CobraOpt{ReserveLLC: w, SkipAccum: true}, w})
 	}
-	ms, err := MapCells(o.workers(), len(cells), func(i int) (sim.Metrics, error) {
-		return sim.RunCOBRA(app, cells[i].opt, o.Arch)
+	ms, err := mapCells(o, len(cells), func(i int) (sim.Metrics, error) {
+		c := cells[i]
+		scheme := "COBRA[skipaccum]"
+		if c.level != "" {
+			scheme = fmt.Sprintf("COBRA[rsv%s=%d,skipaccum]", c.level, c.ways)
+		}
+		return o.journaled(CellKey{Figure: "Figure 13b", App: "NeighborPopulate", Input: "KRON", Scheme: scheme},
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, c.opt, o.Arch) })
 	})
 	if err != nil {
 		return nil, err
@@ -440,24 +510,27 @@ func Fig13c(o Opts) (*Table, error) {
 	}
 	// Linux default quantum ~ 1ms ≈ 2.66M cycles; sweep down to 1/100th.
 	quanta := []float64{26_600, 266_000, 2_660_000}
-	rows, err := MapCells(o.workers(), len(quanta), func(i int) ([]string, error) {
+	ms, err := mapCells(o, len(quanta), func(i int) (sim.Metrics, error) {
 		q := quanta[i]
-		m, err := sim.RunCOBRA(app, sim.CobraOpt{CtxSwitchQuantum: q, SkipAccum: true}, o.Arch)
-		if err != nil {
-			return nil, err
-		}
+		return o.journaled(CellKey{Figure: "Figure 13c", App: "NeighborPopulate", Input: "KRON",
+			Scheme: fmt.Sprintf("COBRA[q=%.0f,skipaccum]", q)},
+			func() (sim.Metrics, error) {
+				return sim.RunCOBRA(app, sim.CobraOpt{CtxSwitchQuantum: q, SkipAccum: true}, o.Arch)
+			})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range quanta {
+		m := ms[i]
 		total := m.BinMem.DRAMBytes()
 		frac := 0.0
 		if total > 0 {
 			frac = float64(m.CtxWasteBytes) / float64(total)
 		}
-		return []string{fmt.Sprintf("%.0f", q), fmt.Sprintf("%d", m.CtxSwitches),
-			fmt.Sprintf("%d", m.CtxWasteBytes), fp(frac)}, nil
-	})
-	if err != nil {
-		return nil, err
+		t.AddRow(fmt.Sprintf("%.0f", q), fmt.Sprintf("%d", m.CtxSwitches),
+			fmt.Sprintf("%d", m.CtxWasteBytes), fp(frac))
 	}
-	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: <5% waste even at 1/100th of the default Linux quantum")
 	return t, nil
 }
@@ -477,15 +550,22 @@ func Fig14(o Opts) (*Table, error) {
 	}
 	// One cell per pair; within a cell the comparison schemes run
 	// serially because PHI depends on the PB-SW reference's bin count.
-	blocks, err := MapCells(o.workers(), len(pairs), func(i int) ([][]string, error) {
+	// Each inner scheme run is journaled individually, so a resumed
+	// campaign replays the completed schemes of a partially finished
+	// pair too.
+	blocks, err := mapCells(o, len(pairs), func(i int) ([][]string, error) {
 		p := pairs[i]
 		app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
 		if err != nil {
 			return nil, err
 		}
+		key := func(scheme string, bins int) CellKey {
+			return CellKey{Figure: "Figure 14", App: p.App, Input: p.Input, Scheme: scheme, Bins: bins}
+		}
 		// PB-SW reference at a representative compromise bin count (the
 		// comparison is about traffic and locality, not the sweep).
-		pbBest, err := sim.RunPBSW(app, 4096, o.Arch)
+		pbBest, err := o.journaled(key("PB-SW", 4096),
+			func() (sim.Metrics, error) { return sim.RunPBSW(app, 4096, o.Arch) })
 		if err != nil {
 			return nil, err
 		}
@@ -502,11 +582,14 @@ func Fig14(o Opts) (*Table, error) {
 				fp(float64(mm.DRAMBytes()) / pbTraffic), fp(float64(mm.L1Misses) / pbL1)})
 		}
 		rows = append(rows, []string{p.App, p.Input, "PB-SW", "100.0%", "100.0%"})
-		phiM, phiErr := sim.RunPHI(app, pbBest.NumBins, o.Arch)
+		phiM, phiErr := o.journaled(key("PHI", pbBest.NumBins),
+			func() (sim.Metrics, error) { return sim.RunPHI(app, pbBest.NumBins, o.Arch) })
 		add("PHI", phiM, phiErr)
-		cobraM, cobraErr := sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch)
+		cobraM, cobraErr := o.journaled(key("COBRA", 0),
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, sim.CobraOpt{}, o.Arch) })
 		add("COBRA", cobraM, cobraErr)
-		commM, commErr := sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, o.Arch)
+		commM, commErr := o.journaled(key("COBRA-COMM", 0),
+			func() (sim.Metrics, error) { return sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, o.Arch) })
 		add("COBRA-COMM", commM, commErr)
 		return rows, nil
 	})

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -64,6 +66,132 @@ func TestRunCellsLowestError(t *testing.T) {
 func TestRunCellsEmpty(t *testing.T) {
 	if err := RunCells(4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCellsPanicIsolation is the regression for the old
+// crash-the-process behaviour: a panicking cell must surface as the
+// lowest-indexed deterministic *CellError while every remaining cell
+// still runs, at any parallelism.
+func TestRunCellsPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		var ran atomic.Int64
+		err := RunCells(workers, 16, func(i int) error {
+			ran.Add(1)
+			if i == 5 || i == 12 {
+				panic(fmt.Sprintf("cell %d exploded", i))
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed entirely", workers)
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: err = %T %v, want *CellError", workers, err, err)
+		}
+		if ce.Index != 5 {
+			t.Fatalf("workers=%d: reported cell %d, want the lowest-indexed panic (5)", workers, ce.Index)
+		}
+		if want := "exp: cell 5 panicked: cell 5 exploded"; ce.Error() != want {
+			t.Fatalf("workers=%d: error %q, want deterministic %q", workers, ce.Error(), want)
+		}
+		if len(ce.Stack) == 0 {
+			t.Fatalf("workers=%d: panic stack not captured", workers)
+		}
+		if ran.Load() != 16 {
+			t.Fatalf("workers=%d: ran %d cells, want all 16 despite the panics", workers, ran.Load())
+		}
+	}
+}
+
+// TestRunCellsCtxCancelDrains: cancellation stops dispatch of new cells
+// but completed cells keep their results, and the run reports
+// ErrInterrupted.
+func TestRunCellsCtxCancelDrains(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n, stopAfter = 64, 5
+		var done atomic.Int64
+		err := RunCellsCtx(ctx, workers, n, func(_ context.Context, i int) error {
+			// Cells take long enough that the pool cannot race through
+			// all n of them inside the cancellation window.
+			time.Sleep(time.Millisecond)
+			if done.Add(1) == stopAfter {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("workers=%d: err = %v, want ErrInterrupted", workers, err)
+		}
+		if d := done.Load(); d < stopAfter || d >= n {
+			t.Fatalf("workers=%d: %d cells completed; want >= %d (drain) and < %d (stopped dispatch)", workers, d, stopAfter, n)
+		}
+	}
+}
+
+// TestRunCellsCtxCellErrorBeatsInterrupt: a genuine cell failure is
+// reported in preference to the interruption, keeping error reporting
+// deterministic.
+func TestRunCellsCtxCellErrorBeatsInterrupt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := RunCellsCtx(ctx, 1, 8, func(_ context.Context, i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the genuine cell error", err)
+	}
+}
+
+// TestRunCellsCtxCompletedRunNotInterrupted: a run whose context is
+// cancelled only after every cell finished reports success.
+func TestRunCellsCtxCompletedRunNotInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := RunCellsCtx(ctx, 2, 8, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithCellTimeout: cells receive a per-cell deadline context; a
+// cell that respects it fails individually without wedging the pool.
+func TestWithCellTimeout(t *testing.T) {
+	ctx := WithCellTimeout(context.Background(), time.Millisecond)
+	err := RunCellsCtx(ctx, 2, 4, func(cctx context.Context, i int) error {
+		if i == 1 {
+			select {
+			case <-cctx.Done():
+				return fmt.Errorf("cell %d: %w", i, cctx.Err())
+			case <-time.After(5 * time.Second):
+				return errors.New("per-cell deadline never fired")
+			}
+		}
+		if _, ok := cctx.Deadline(); !ok {
+			return fmt.Errorf("cell %d: no deadline set", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("err = %v, want the timed-out cell's deadline error", err)
+	}
+}
+
+// TestMapCellsCtxDropsResultsOnError mirrors MapCells semantics under
+// cancellation: no partial slice escapes.
+func TestMapCellsCtxDropsResultsOnError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCellsCtx(ctx, 2, 8, func(context.Context, int) (int, error) { return 1, nil })
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil slice and interrupt error", out, err)
 	}
 }
 

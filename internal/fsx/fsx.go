@@ -1,0 +1,75 @@
+// Package fsx provides crash-safe filesystem helpers for the artifact
+// writers (cmd/figures tables, cmd/graphgen inputs, the experiment
+// checkpoint journal).
+//
+// The core guarantee is all-or-nothing visibility: WriteFileAtomic
+// stages content in a temporary file in the destination directory,
+// fsyncs it, and renames it over the destination only after every byte
+// is durable. A reader (or a crashed writer) therefore never observes a
+// partially written artifact — it sees either the old file or the new
+// one, never a truncated hybrid.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the output of `write` to path atomically:
+// temp file in the same directory -> write -> fsync -> rename. On any
+// error the temp file is removed and the destination is left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: staging %s: %w", path, err)
+	}
+	tmpPath := tmp.Name()
+	// Clean up the staging file on every failure path below.
+	fail := func(stage string, err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("fsx: %s %s: %w", stage, path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("writing", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("fsx: closing %s: %w", path, err)
+	}
+	// os.CreateTemp creates 0600; published artifacts follow the usual
+	// umask-style default instead.
+	if err := os.Chmod(tmpPath, 0o644); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("fsx: chmod %s: %w", path, err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("fsx: publishing %s: %w", path, err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some filesystems refuse O_RDONLY dir syncs, and the data is
+	// already safe in the file.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileAtomicBytes is WriteFileAtomic for in-memory content.
+func WriteFileAtomicBytes(path string, content []byte) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(content)
+		return err
+	})
+}

@@ -1,0 +1,112 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomicBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("staging residue left behind: %v", names)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("published mode %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+// TestWriteFileAtomicOverwrite: an existing artifact is replaced whole,
+// never truncated in place.
+func TestWriteFileAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomicBytes(path, []byte("old content, quite long")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomicBytes(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+// TestWriteFileAtomicFailureLeavesOldIntact: a writer that errors
+// midway must leave the previous artifact untouched and no temp files.
+func TestWriteFileAtomicFailureLeavesOldIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomicBytes(path, []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage that must never be seen"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("old artifact clobbered: %q", got)
+	}
+	for _, n := range listDir(t, dir) {
+		if strings.Contains(n, ".tmp-") {
+			t.Fatalf("staging residue %q left behind", n)
+		}
+	}
+}
+
+// TestWriteFileAtomicFailureNoNewFile: when the destination did not
+// exist, a failed write must not create it.
+func TestWriteFileAtomicFailureNoNewFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "never.txt")
+	err := WriteFileAtomic(path, func(w io.Writer) error { return errors.New("nope") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("partial artifact exists: %v", statErr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("residue: %v", names)
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	if err := WriteFileAtomicBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

@@ -1,0 +1,105 @@
+package gio
+
+// Fuzz targets for the two readers that campaign tooling points at
+// user-supplied files. The invariant under fuzz: arbitrary bytes NEVER
+// panic or allocate absurdly, and any input the reader accepts is
+// structurally valid and survives a write/read round trip.
+//
+// `make fuzz-smoke` runs each target for a short budget; `go test`
+// alone replays the seed corpus as regression tests.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"cobra/internal/graph"
+	"cobra/internal/pb"
+)
+
+// fuzzSeeds returns a spread of interesting inputs: valid files,
+// truncations, flipped bytes, absurd counts, and raw noise.
+func fuzzSeeds(t testing.TB, valid []byte) [][]byte {
+	t.Helper()
+	seeds := [][]byte{
+		valid,
+		valid[:len(valid)-8], // legacy footerless
+		{},
+		[]byte("not a gio file at all"),
+		valid[:12],           // header only
+		valid[:len(valid)/2], // mid-payload cut
+		valid[:len(valid)-3], // footer cut
+	}
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x80
+	seeds = append(seeds, flip)
+	huge := append([]byte(nil), valid[:28]...)
+	binary.LittleEndian.PutUint64(huge[20:], 1<<40)
+	seeds = append(seeds, huge)
+	return seeds
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, graph.Uniform(32, 128, 4)); err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range fuzzSeeds(f, buf.Bytes()) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		el, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always legal; panics are the bug
+		}
+		// Accepted input must be internally consistent...
+		for i, e := range el.Edges {
+			if int(e.Src) >= el.N || int(e.Dst) >= el.N {
+				t.Fatalf("accepted edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, el.N)
+			}
+		}
+		// ...and round-trip through the writer.
+		var out bytes.Buffer
+		if err := WriteEdgeList(&out, el); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadEdgeList(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N != el.N || back.M() != el.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)", back.N, back.M(), el.N, el.M())
+		}
+	})
+}
+
+func FuzzReadCSR(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, graph.BuildCSR(graph.Uniform(32, 128, 4), false, pb.Options{})); err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range fuzzSeeds(f, buf.Bytes()) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// ReadCSR promises a validated CSR: re-validating must hold.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted CSR fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteCSR(&out, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadCSR(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N != g.N || back.M() != g.M() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -3,14 +3,23 @@
 // (cmd/graphgen) and reused across experiment runs.
 //
 // Format: an 8-byte magic ("CBRAGIO" + kind byte), a u32 version, then
-// little-endian payload sections. Readers validate structure before
-// returning (corrupt files fail loudly, never produce invalid CSR).
+// little-endian payload sections, then an 8-byte integrity footer
+// ("CRC1" + IEEE CRC32 of every preceding byte). Readers validate
+// structure before returning (corrupt files fail loudly, never produce
+// invalid CSR) and verify the checksum; files written before the footer
+// existed (no trailing bytes after the payload) are still accepted.
+//
+// Failures carry typed sentinels so campaign tooling can distinguish
+// damage classes: errors.Is(err, ErrTruncated | ErrChecksum |
+// ErrTooLarge | ErrFormat).
 package gio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -24,7 +33,119 @@ var (
 	magicEdgeList = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'E'}
 	magicCSR      = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'G'}
 	magicMatrix   = [8]byte{'C', 'B', 'R', 'A', 'G', 'I', 'O', 'M'}
+
+	// footerMagic introduces the CRC32 integrity footer appended by
+	// every writer since the footer format was introduced.
+	footerMagic = [4]byte{'C', 'R', 'C', '1'}
 )
+
+// Typed corruption sentinels. Readers wrap one of these into every
+// failure, so callers can classify damage without string matching.
+var (
+	// ErrTruncated: the stream ended before the structure it promised.
+	ErrTruncated = errors.New("gio: truncated file")
+	// ErrChecksum: the CRC32 footer does not match the file contents —
+	// a bit flip or partial overwrite somewhere in the body.
+	ErrChecksum = errors.New("gio: checksum mismatch")
+	// ErrTooLarge: a declared element count exceeds the sanity limit
+	// (an absurd header, almost certainly corruption).
+	ErrTooLarge = errors.New("gio: element count exceeds sanity limit")
+	// ErrFormat: wrong magic, unsupported version, inconsistent
+	// sections, or trailing garbage.
+	ErrFormat = errors.New("gio: malformed file")
+)
+
+// CorruptError decorates a sentinel with the file kind and the section
+// where the damage was detected.
+type CorruptError struct {
+	Kind   string // "edge list", "CSR", "matrix"
+	Detail string
+	Err    error // one of the sentinels above (or an underlying I/O error)
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("gio: corrupt %s (%s): %v", e.Kind, e.Detail, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+func corrupt(kind, detail string, sentinel error) error {
+	return &CorruptError{Kind: kind, Detail: detail, Err: sentinel}
+}
+
+// classify maps a raw decode error onto a sentinel: short reads mean
+// truncation, anything else passes through.
+func classify(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// crcWriter tracks the IEEE CRC32 of everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader tracks the IEEE CRC32 of everything the decoder consumes
+// (hashing at the consumption layer, not the source, so the bufio
+// read-ahead never over-hashes).
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.br.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// writeFooter appends the integrity footer directly to the underlying
+// writer (the footer itself is not part of the checksum).
+func writeFooter(w io.Writer, crc uint32) error {
+	if _, err := w.Write(footerMagic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc)
+}
+
+// verifyFooter checks the bytes after the payload. Three legal shapes:
+//
+//   - immediate EOF: a legacy footerless file — accepted for backward
+//     compatibility with inputs written before the footer existed;
+//   - exactly footerMagic + matching CRC32, then EOF: a current file;
+//   - anything else: corruption (partial footer, wrong trailer bytes,
+//     checksum mismatch, or garbage after the footer).
+func verifyFooter(cr *crcReader, kind string) error {
+	sum := cr.crc // checksum of everything consumed so far (header + payload)
+	var tail [8]byte
+	n, err := io.ReadFull(cr.br, tail[:])
+	if n == 0 && errors.Is(err, io.EOF) {
+		return nil // legacy footerless file
+	}
+	if err != nil {
+		return corrupt(kind, "checksum footer", fmt.Errorf("%w: %d trailing bytes (want 8)", ErrTruncated, n))
+	}
+	if [4]byte(tail[:4]) != footerMagic {
+		return corrupt(kind, "checksum footer", fmt.Errorf("%w: trailing bytes are not a checksum footer", ErrFormat))
+	}
+	want := binary.LittleEndian.Uint32(tail[4:])
+	if want != sum {
+		return corrupt(kind, "body", fmt.Errorf("%w: computed %08x, footer says %08x", ErrChecksum, sum, want))
+	}
+	if _, err := cr.br.ReadByte(); err != io.EOF {
+		return corrupt(kind, "checksum footer", fmt.Errorf("%w: trailing data after footer", ErrFormat))
+	}
+	return nil
+}
 
 func writeHeader(w io.Writer, magic [8]byte) error {
 	if _, err := w.Write(magic[:]); err != nil {
@@ -36,17 +157,17 @@ func writeHeader(w io.Writer, magic [8]byte) error {
 func readHeader(r io.Reader, want [8]byte, kind string) error {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return fmt.Errorf("gio: reading %s magic: %w", kind, err)
+		return corrupt(kind, "magic", classify(err))
 	}
 	if magic != want {
-		return fmt.Errorf("gio: not a %s file (magic %q)", kind, magic[:])
+		return corrupt(kind, "magic", fmt.Errorf("%w: not a %s file (magic %q)", ErrFormat, kind, magic[:]))
 	}
 	var v uint32
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-		return fmt.Errorf("gio: reading %s version: %w", kind, err)
+		return corrupt(kind, "version", classify(err))
 	}
 	if v != version {
-		return fmt.Errorf("gio: %s version %d unsupported (want %d)", kind, v, version)
+		return corrupt(kind, "version", fmt.Errorf("%w: version %d unsupported (want %d)", ErrFormat, v, version))
 	}
 	return nil
 }
@@ -58,17 +179,48 @@ func writeU32s(w io.Writer, xs []uint32) error {
 	return binary.Write(w, binary.LittleEndian, xs)
 }
 
-func readU32s(r io.Reader, limit uint64, what string) ([]uint32, error) {
+// readChunk bounds a single allocation while reading a length-prefixed
+// array: capacity grows with the bytes actually present in the stream,
+// so an absurd (corrupt) length header fails fast with ErrTruncated
+// instead of attempting a multi-GiB allocation up front.
+const readChunk = 1 << 20
+
+func readU32s(r io.Reader, limit uint64, kind, what string) ([]uint32, error) {
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("gio: reading %s length: %w", what, err)
+		return nil, corrupt(kind, what+" length", classify(err))
 	}
 	if n > limit {
-		return nil, fmt.Errorf("gio: %s length %d exceeds sanity limit %d", what, n, limit)
+		return nil, corrupt(kind, what, fmt.Errorf("%w: length %d > limit %d", ErrTooLarge, n, limit))
 	}
-	xs := make([]uint32, n)
-	if err := binary.Read(r, binary.LittleEndian, xs); err != nil {
-		return nil, fmt.Errorf("gio: reading %s payload: %w", what, err)
+	xs := make([]uint32, 0, min(n, readChunk))
+	for uint64(len(xs)) < n {
+		chunk := min(n-uint64(len(xs)), readChunk)
+		buf := make([]uint32, chunk)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, corrupt(kind, what+" payload", classify(err))
+		}
+		xs = append(xs, buf...)
+	}
+	return xs, nil
+}
+
+func readU64s(r io.Reader, limit uint64, kind, what string) ([]uint64, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, corrupt(kind, what+" length", classify(err))
+	}
+	if n > limit {
+		return nil, corrupt(kind, what, fmt.Errorf("%w: length %d > limit %d", ErrTooLarge, n, limit))
+	}
+	xs := make([]uint64, 0, min(n, readChunk))
+	for uint64(len(xs)) < n {
+		chunk := min(n-uint64(len(xs)), readChunk)
+		buf := make([]uint64, chunk)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, corrupt(kind, what+" payload", classify(err))
+		}
+		xs = append(xs, buf...)
 	}
 	return xs, nil
 }
@@ -77,9 +229,10 @@ func readU32s(r io.Reader, limit uint64, what string) ([]uint32, error) {
 // obviously corrupt headers before allocation.
 const maxElems = 1 << 32
 
-// WriteEdgeList serializes el.
+// WriteEdgeList serializes el (with integrity footer).
 func WriteEdgeList(w io.Writer, el *graph.EdgeList) error {
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicEdgeList); err != nil {
 		return err
 	}
@@ -97,46 +250,55 @@ func WriteEdgeList(w io.Writer, el *graph.EdgeList) error {
 	if err := writeU32s(bw, dsts); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return writeFooter(w, cw.crc)
 }
 
-// ReadEdgeList deserializes an edge list, validating vertex bounds.
+// ReadEdgeList deserializes an edge list, verifying the checksum
+// footer (when present) and validating vertex bounds.
 func ReadEdgeList(r io.Reader) (*graph.EdgeList, error) {
-	br := bufio.NewReader(r)
-	if err := readHeader(br, magicEdgeList, "edge list"); err != nil {
+	const kind = "edge list"
+	cr := &crcReader{br: bufio.NewReader(r)}
+	if err := readHeader(cr, magicEdgeList, kind); err != nil {
 		return nil, err
 	}
 	var n uint64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, corrupt(kind, "vertex count", classify(err))
 	}
 	if n > maxElems {
-		return nil, fmt.Errorf("gio: vertex count %d exceeds sanity limit", n)
+		return nil, corrupt(kind, "vertex count", fmt.Errorf("%w: %d", ErrTooLarge, n))
 	}
-	srcs, err := readU32s(br, maxElems, "sources")
+	srcs, err := readU32s(cr, maxElems, kind, "sources")
 	if err != nil {
 		return nil, err
 	}
-	dsts, err := readU32s(br, maxElems, "destinations")
+	dsts, err := readU32s(cr, maxElems, kind, "destinations")
 	if err != nil {
+		return nil, err
+	}
+	if err := verifyFooter(cr, kind); err != nil {
 		return nil, err
 	}
 	if len(srcs) != len(dsts) {
-		return nil, fmt.Errorf("gio: source/destination counts differ (%d vs %d)", len(srcs), len(dsts))
+		return nil, corrupt(kind, "sections", fmt.Errorf("%w: source/destination counts differ (%d vs %d)", ErrFormat, len(srcs), len(dsts)))
 	}
 	el := &graph.EdgeList{N: int(n), Edges: make([]graph.Edge, len(srcs))}
 	for i := range srcs {
 		if uint64(srcs[i]) >= n || uint64(dsts[i]) >= n {
-			return nil, fmt.Errorf("gio: edge %d (%d->%d) out of range [0,%d)", i, srcs[i], dsts[i], n)
+			return nil, corrupt(kind, "edges", fmt.Errorf("%w: edge %d (%d->%d) out of range [0,%d)", ErrFormat, i, srcs[i], dsts[i], n))
 		}
 		el.Edges[i] = graph.Edge{Src: srcs[i], Dst: dsts[i]}
 	}
 	return el, nil
 }
 
-// WriteCSR serializes g.
+// WriteCSR serializes g (with integrity footer).
 func WriteCSR(w io.Writer, g *graph.CSR) error {
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicCSR); err != nil {
 		return err
 	}
@@ -149,40 +311,49 @@ func WriteCSR(w io.Writer, g *graph.CSR) error {
 	if err := writeU32s(bw, g.Neighs); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return writeFooter(w, cw.crc)
 }
 
-// ReadCSR deserializes a CSR graph and validates its invariants.
+// ReadCSR deserializes a CSR graph, verifying the checksum footer
+// (when present) and validating its invariants.
 func ReadCSR(r io.Reader) (*graph.CSR, error) {
-	br := bufio.NewReader(r)
-	if err := readHeader(br, magicCSR, "CSR"); err != nil {
+	const kind = "CSR"
+	cr := &crcReader{br: bufio.NewReader(r)}
+	if err := readHeader(cr, magicCSR, kind); err != nil {
 		return nil, err
 	}
 	var n uint64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, corrupt(kind, "vertex count", classify(err))
 	}
 	if n > maxElems {
-		return nil, fmt.Errorf("gio: vertex count %d exceeds sanity limit", n)
+		return nil, corrupt(kind, "vertex count", fmt.Errorf("%w: %d", ErrTooLarge, n))
 	}
-	offsets, err := readU32s(br, maxElems, "offsets")
+	offsets, err := readU32s(cr, maxElems, kind, "offsets")
 	if err != nil {
 		return nil, err
 	}
-	neighs, err := readU32s(br, maxElems, "neighbors")
+	neighs, err := readU32s(cr, maxElems, kind, "neighbors")
 	if err != nil {
+		return nil, err
+	}
+	if err := verifyFooter(cr, kind); err != nil {
 		return nil, err
 	}
 	g := &graph.CSR{N: int(n), Offsets: offsets, Neighs: neighs}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("gio: %w", err)
+		return nil, corrupt(kind, "structure", fmt.Errorf("%w: %v", ErrFormat, err))
 	}
 	return g, nil
 }
 
-// WriteMatrix serializes m.
+// WriteMatrix serializes m (with integrity footer).
 func WriteMatrix(w io.Writer, m *sparse.Matrix) error {
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicMatrix); err != nil {
 		return err
 	}
@@ -208,51 +379,55 @@ func WriteMatrix(w io.Writer, m *sparse.Matrix) error {
 	if err := binary.Write(bw, binary.LittleEndian, bits); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return writeFooter(w, cw.crc)
 }
 
-// ReadMatrix deserializes a CSR matrix and validates its invariants.
+// ReadMatrix deserializes a CSR matrix, verifying the checksum footer
+// (when present) and validating its invariants.
 func ReadMatrix(r io.Reader) (*sparse.Matrix, error) {
-	br := bufio.NewReader(r)
-	if err := readHeader(br, magicMatrix, "matrix"); err != nil {
+	const kind = "matrix"
+	cr := &crcReader{br: bufio.NewReader(r)}
+	if err := readHeader(cr, magicMatrix, kind); err != nil {
 		return nil, err
 	}
 	var rows, cols uint64
-	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &rows); err != nil {
+		return nil, corrupt(kind, "row count", classify(err))
 	}
-	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &cols); err != nil {
+		return nil, corrupt(kind, "column count", classify(err))
 	}
 	if rows > maxElems || cols > maxElems {
-		return nil, fmt.Errorf("gio: matrix shape %dx%d exceeds sanity limit", rows, cols)
+		return nil, corrupt(kind, "shape", fmt.Errorf("%w: %dx%d", ErrTooLarge, rows, cols))
 	}
-	rowptr, err := readU32s(br, maxElems, "rowptr")
+	rowptr, err := readU32s(cr, maxElems, kind, "rowptr")
 	if err != nil {
 		return nil, err
 	}
-	colidx, err := readU32s(br, maxElems, "colidx")
+	colidx, err := readU32s(cr, maxElems, kind, "colidx")
 	if err != nil {
 		return nil, err
 	}
-	var nv uint64
-	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+	bits, err := readU64s(cr, maxElems, kind, "values")
+	if err != nil {
 		return nil, err
 	}
-	if nv > maxElems {
-		return nil, fmt.Errorf("gio: value count %d exceeds sanity limit", nv)
-	}
-	bits := make([]uint64, nv)
-	if err := binary.Read(br, binary.LittleEndian, bits); err != nil {
+	if err := verifyFooter(cr, kind); err != nil {
 		return nil, err
 	}
-	vals := make([]float64, nv)
+	if len(bits) != len(colidx) {
+		return nil, corrupt(kind, "sections", fmt.Errorf("%w: %d values for %d column indices", ErrFormat, len(bits), len(colidx)))
+	}
+	vals := make([]float64, len(bits))
 	for i, b := range bits {
 		vals[i] = math.Float64frombits(b)
 	}
 	m := &sparse.Matrix{Rows: int(rows), Cols: int(cols), RowPtr: rowptr, ColIdx: colidx, Vals: vals}
 	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("gio: %w", err)
+		return nil, corrupt(kind, "structure", fmt.Errorf("%w: %v", ErrFormat, err))
 	}
 	return m, nil
 }
