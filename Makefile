@@ -1,12 +1,12 @@
 # Build/test entry points. `make ci` is the gate PRs must keep green:
 # vet + build + race-mode tests on the concurrency-bearing packages
-# (exp's worker pool and input memo, cache's shared-model users, pb's
-# parallel binning) + the full test suite + a short fuzz pass over the
-# hardened gio readers.
+# (exp's worker pool and input memo, obsv's lock-free instruments,
+# cache's shared-model users, pb's parallel binning) + the full test
+# suite with coverage + a short fuzz pass over the hardened gio readers.
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench figures-quick fmt-check fuzz-smoke
+.PHONY: all build vet test race ci bench coverage figures-quick fmt-check fuzz-smoke
 
 all: ci
 
@@ -20,9 +20,10 @@ test:
 	$(GO) test ./...
 
 # Race-mode pass over the packages that actually spawn goroutines or
-# share state across them.
+# share state across them (obsv: lock-free counters/histograms, the
+# progress renderer goroutine, and the concurrent event log).
 race:
-	$(GO) test -race ./internal/exp ./internal/cache ./internal/pb
+	$(GO) test -race ./internal/exp ./internal/obsv ./internal/cache ./internal/pb
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.
@@ -31,7 +32,15 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEdgeList$$' -fuzztime=10s ./internal/gio
 	$(GO) test -run='^$$' -fuzz='^FuzzReadCSR$$' -fuzztime=10s ./internal/gio
 
-ci: vet build race test fuzz-smoke
+# Per-package statement coverage with a total summary line. CI runs
+# this in place of the bare `test` target so coverage regressions are
+# visible in the log; the profile lands in coverage.out for
+# `go tool cover -html=coverage.out` drill-down.
+coverage:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+
+ci: vet build race coverage fuzz-smoke
 
 # Hot-path microbenchmarks (packed cache metadata; PB binning).
 bench:

@@ -10,6 +10,8 @@
 //	figures -all -checkpoint run.ckpt      # journal completed cells
 //	figures -all -checkpoint run.ckpt -resume  # pick up where a run died
 //	figures -fig 10 -o fig10.txt  # crash-safe artifact (temp+rename)
+//	figures -fig 10 -o fig10.txt -progress -events ev.jsonl  # observability
+//	figures -fig 10 -cpuprofile cpu.pprof   # pprof the campaign
 //	figures -list
 //
 // Simulation cells within a figure are independent and run on a
@@ -18,6 +20,22 @@
 // -checkpoint/-resume, byte-identical across an interrupted+resumed
 // campaign, because replayed cells reproduce their recorded metrics
 // exactly.
+//
+// Observability (all off by default; none of it can change table
+// bytes — progress renders to stderr, events and manifests go to
+// their own files, and the simulation itself is never touched):
+//
+//   - -progress: a live stderr line with completed/total cells,
+//     journal replays, cells/sec, and an ETA.
+//   - -events FILE: a structured JSONL event stream (campaign_start,
+//     figure_start/figure_done, cell_done/cell_replay/cell_error with
+//     identity and latency).
+//   - A run manifest is written next to the -o artifact
+//     (<artifact>.manifest.json; override with -manifest PATH, disable
+//     with -manifest none): arch fingerprint, Go toolchain,
+//     GOMAXPROCS, per-figure durations, and the full metric snapshot —
+//     everything needed to diff two runs.
+//   - -cpuprofile/-memprofile/-trace: standard pprof/trace hooks.
 //
 // Fault tolerance:
 //
@@ -39,12 +57,16 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"syscall"
 	"time"
 
 	"cobra/internal/exp"
 	"cobra/internal/fsx"
+	"cobra/internal/obsv"
 )
 
 type figureFn func(exp.Opts) (*exp.Table, error)
@@ -74,20 +96,36 @@ var figures = map[string]figureFn{
 var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "a1", "a2", "a3", "a4", "a5", "a6"}
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: flags in, exit code
+// out, all writes through the given streams or files named by flags.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig         = flag.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a6)")
-		all         = flag.Bool("all", false, "regenerate every figure")
-		quick       = flag.Bool("quick", false, "small-scale smoke run")
-		scale       = flag.Int("scale", 0, "override input scale (keys ~ 2^scale)")
-		seed        = flag.Uint64("seed", 42, "generator seed")
-		list        = flag.Bool("list", false, "list figures, then exit")
-		parallel    = flag.Int("parallel", 0, "worker pool size for simulation cells (0 = one per CPU, 1 = serial)")
-		checkpoint  = flag.String("checkpoint", "", "journal completed cells to this file (JSONL, fsync'd per cell)")
-		resume      = flag.Bool("resume", false, "replay already-completed cells from the -checkpoint journal")
-		outPath     = flag.String("o", "", "write tables to this file atomically (temp-file + rename) instead of stdout")
-		cellTimeout = flag.Duration("cell-timeout", 0, "optional per-cell context deadline (0 = none)")
+		fig         = fs.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a6)")
+		all         = fs.Bool("all", false, "regenerate every figure")
+		quick       = fs.Bool("quick", false, "small-scale smoke run")
+		scale       = fs.Int("scale", 0, "override input scale (keys ~ 2^scale)")
+		seed        = fs.Uint64("seed", 42, "generator seed")
+		list        = fs.Bool("list", false, "list figures, then exit")
+		parallel    = fs.Int("parallel", 0, "worker pool size for simulation cells (0 = one per CPU, 1 = serial)")
+		checkpoint  = fs.String("checkpoint", "", "journal completed cells to this file (JSONL, fsync'd per cell)")
+		resume      = fs.Bool("resume", false, "replay already-completed cells from the -checkpoint journal")
+		outPath     = fs.String("o", "", "write tables to this file atomically (temp-file + rename) instead of stdout")
+		cellTimeout = fs.Duration("cell-timeout", 0, "optional per-cell context deadline (0 = none)")
+		progress    = fs.Bool("progress", false, "render a live progress line (cells done, replays, cells/sec, ETA) to stderr")
+		eventsPath  = fs.String("events", "", "append a structured JSONL event stream to this file")
+		manifest    = fs.String("manifest", "auto", `run-manifest path ("auto" = next to -o artifact, "none" = disabled)`)
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		tracePath   = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		keys := make([]string, 0, len(figures))
@@ -95,13 +133,13 @@ func main() {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		fmt.Println("figures:", keys)
-		return
+		fmt.Fprintln(stdout, "figures:", keys)
+		return 0
 	}
 
 	if *resume && *checkpoint == "" {
-		fmt.Fprintln(os.Stderr, "figures: -resume requires -checkpoint")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "figures: -resume requires -checkpoint")
+		return 2
 	}
 
 	opts := exp.DefaultOpts()
@@ -115,6 +153,78 @@ func main() {
 	opts.Parallel = *parallel
 	opts.CellTimeout = *cellTimeout
 
+	// Resolve the manifest destination: explicit path, auto (next to
+	// the -o artifact), or disabled.
+	manifestPath := ""
+	switch *manifest {
+	case "none", "":
+		// disabled
+	case "auto":
+		if *outPath != "" {
+			manifestPath = *outPath + ".manifest.json"
+		}
+	default:
+		manifestPath = *manifest
+	}
+
+	// Observability is enabled iff some sink wants it; the registry is
+	// process-global (sim and exp instrument through it) and reset on
+	// return so embedding callers (tests) stay isolated.
+	var reg *obsv.Registry
+	if *progress || *eventsPath != "" || manifestPath != "" {
+		reg = obsv.New()
+		obsv.SetDefault(reg)
+		defer obsv.SetDefault(nil)
+	}
+
+	// Profiling hooks (standard pprof/trace plumbing).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "figures: starting CPU profile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(stderr, "figures: starting trace:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "figures:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "figures: writing heap profile:", err)
+			}
+		}()
+	}
+
 	// Two-stage signal handling: the first SIGINT/SIGTERM cancels the
 	// campaign context — workers stop claiming new cells, in-flight
 	// cells drain, and every drained cell still lands in the checkpoint
@@ -123,12 +233,23 @@ func main() {
 	defer cancel()
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sigdone := make(chan struct{})
+	defer close(sigdone)
 	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "figures: interrupt — draining in-flight cells and flushing the checkpoint (signal again to abort)")
+		select {
+		case <-sigc:
+		case <-sigdone:
+			return
+		}
+		fmt.Fprintln(stderr, "figures: interrupt — draining in-flight cells and flushing the checkpoint (signal again to abort)")
 		cancel()
-		<-sigc
-		fmt.Fprintln(os.Stderr, "figures: aborted")
+		select {
+		case <-sigc:
+		case <-sigdone:
+			return
+		}
+		fmt.Fprintln(stderr, "figures: aborted")
 		os.Exit(130)
 	}()
 	opts.Ctx = ctx
@@ -138,38 +259,71 @@ func main() {
 		var err error
 		journal, err = exp.OpenJournal(*checkpoint, *resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
 		if *resume && journal.Len() > 0 {
-			fmt.Fprintf(os.Stderr, "figures: resuming — %d completed cells in %s\n", journal.Len(), *checkpoint)
+			fmt.Fprintf(stderr, "figures: resuming — %d completed cells in %s\n", journal.Len(), *checkpoint)
 		}
 		opts.Journal = journal
 	}
 
+	var events *obsv.EventLog
+	if *eventsPath != "" {
+		var err error
+		events, err = obsv.CreateEventLog(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
+		opts.Events = events
+	}
+
+	var prog *obsv.Progress
+	if *progress {
+		prog = obsv.StartProgress(stderr, 0)
+		opts.Progress = prog
+	}
+
+	man := obsv.NewManifest("figures")
+	man.Scale, man.Seed, man.Parallel = opts.Scale, opts.Seed, exp.Workers(opts.Parallel)
+	man.ArchFingerprint = exp.ArchFingerprint(opts.Arch)
+
+	events.Emit("campaign_start", map[string]any{
+		"scale": opts.Scale, "seed": opts.Seed, "parallel": exp.Workers(opts.Parallel),
+		"arch": man.ArchFingerprint, "checkpoint": *checkpoint, "resume": *resume,
+	})
+
 	// Tables accumulate in memory when -o is set, so a failed or
 	// interrupted campaign never publishes a partial artifact.
-	var out io.Writer = os.Stdout
+	var out io.Writer = stdout
 	var artifact bytes.Buffer
 	if *outPath != "" {
 		out = &artifact
 	}
 
-	run := func(name string) error {
+	campaignStart := time.Now()
+	runOne := func(name string) error {
 		fn, ok := figures[name]
 		if !ok {
 			return fmt.Errorf("unknown figure %q", name)
 		}
+		prog.SetLabel("fig " + name)
+		events.Emit("figure_start", map[string]any{"figure": name})
 		start := time.Now()
 		t, err := fn(opts)
+		elapsed := time.Since(start)
 		if err != nil {
+			events.Emit("figure_error", map[string]any{"figure": name, "error": err.Error()})
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		man.AddFigure(name, elapsed)
+		events.Emit("figure_done", map[string]any{"figure": name, "ms": float64(elapsed.Microseconds()) / 1000})
 		// Timing goes to stderr: table bytes stay a deterministic
 		// function of (scale, seed, arch), which is what makes resumed
 		// output byte-identical to an uninterrupted run.
-		fmt.Fprintf(os.Stderr, "figures: %s regenerated in %v at scale %d\n",
-			name, time.Since(start).Round(time.Millisecond), opts.Scale)
+		fmt.Fprintf(stderr, "figures: %s regenerated in %v at scale %d\n",
+			name, elapsed.Round(time.Millisecond), opts.Scale)
 		t.Fprint(out)
 		return nil
 	}
@@ -178,23 +332,65 @@ func main() {
 	switch {
 	case *all:
 		for _, name := range order {
-			if runErr = run(name); runErr != nil {
+			if runErr = runOne(name); runErr != nil {
 				break
 			}
 		}
 	case *fig != "":
-		runErr = run(*fig)
+		runErr = runOne(*fig)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+
+	prog.Finish()
 
 	if journal != nil {
 		replayed, recorded := journal.Stats()
-		fmt.Fprintf(os.Stderr, "figures: checkpoint %s: %d cells replayed, %d newly recorded\n",
+		fmt.Fprintf(stderr, "figures: checkpoint %s: %d cells replayed, %d newly recorded\n",
 			*checkpoint, replayed, recorded)
+		man.Checkpoint = &obsv.CheckpointInfo{Path: *checkpoint, Replayed: replayed, Recorded: recorded}
 		if err := journal.Close(); err != nil && runErr == nil {
 			runErr = fmt.Errorf("closing checkpoint: %w", err)
+		}
+	}
+
+	// Campaign-level derived rates land in the registry before the
+	// manifest snapshots it.
+	if reg != nil {
+		if wall := time.Since(campaignStart).Seconds(); wall > 0 {
+			done := reg.Counter("exp.cells.completed").Value()
+			reg.Gauge("exp.cells_per_sec").Set(float64(done) / wall)
+		}
+	}
+
+	status := "ok"
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, exp.ErrInterrupted):
+		status = "interrupted"
+	default:
+		status = "error"
+	}
+	events.Emit("campaign_done", map[string]any{
+		"status": status, "wall_s": time.Since(campaignStart).Seconds(),
+	})
+	if err := events.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+
+	// The manifest is written even for failed or interrupted campaigns
+	// — that is exactly when you want the provenance record — but only
+	// the success path publishes the artifact.
+	if manifestPath != "" {
+		man.Finish(reg)
+		if err := man.Write(manifestPath); err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(stderr, "figures: wrote manifest %s\n", manifestPath)
 		}
 	}
 
@@ -202,20 +398,21 @@ func main() {
 	case runErr == nil:
 		if *outPath != "" {
 			if err := fsx.WriteFileAtomicBytes(*outPath, artifact.Bytes()); err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "figures:", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "figures: wrote %s (%d bytes)\n", *outPath, artifact.Len())
+			fmt.Fprintf(stderr, "figures: wrote %s (%d bytes)\n", *outPath, artifact.Len())
 		}
+		return 0
 	case errors.Is(runErr, exp.ErrInterrupted):
 		msg := "figures: interrupted"
 		if *checkpoint != "" {
 			msg += fmt.Sprintf("; completed cells saved — re-run with -checkpoint %s -resume to continue", *checkpoint)
 		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(130)
+		fmt.Fprintln(stderr, msg)
+		return 130
 	default:
-		fmt.Fprintf(os.Stderr, "figures: %v\n", runErr)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "figures: %v\n", runErr)
+		return 1
 	}
 }

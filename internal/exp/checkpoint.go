@@ -27,7 +27,9 @@ import (
 	"hash/fnv"
 	"os"
 	"sync"
+	"time"
 
+	"cobra/internal/obsv"
 	"cobra/internal/sim"
 )
 
@@ -225,21 +227,70 @@ func (j *Journal) Close() error {
 // an explicit fingerprint for their modified architectures).
 func (o Opts) journaled(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics, error) {
 	if o.Journal == nil {
-		return run()
+		return o.observed(k, run)
 	}
 	k.Scale, k.Seed = o.Scale, o.Seed
 	if k.Arch == "" {
 		k.Arch = ArchFingerprint(o.Arch)
 	}
 	if m, ok := o.Journal.Lookup(k); ok {
+		obsv.Default().Counter("exp.checkpoint.replayed").Add(1)
+		o.Progress.Replayed()
+		o.Events.Emit("cell_replay", cellFields(k, 0, nil))
 		return m, nil
 	}
-	m, err := run()
+	m, err := o.observed(k, run)
 	if err != nil {
 		return m, err
 	}
 	if err := o.Journal.Record(k, m); err != nil {
 		return m, err
 	}
+	obsv.Default().Counter("exp.checkpoint.recorded").Add(1)
 	return m, nil
+}
+
+// observed runs one simulation cell with per-cell observability: the
+// simulation-only latency histogram ("exp.cell.sim_wall" — the pool's
+// "exp.cell.wall" also covers replays and app builds) and a cell_done
+// / cell_error event carrying the cell identity and latency. With
+// observability disabled it is a plain call.
+func (o Opts) observed(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics, error) {
+	reg := obsv.Default()
+	if reg == nil && o.Events == nil {
+		return run()
+	}
+	start := time.Now()
+	m, err := run()
+	elapsed := time.Since(start)
+	if reg != nil {
+		reg.Histogram("exp.cell.sim_wall").Observe(elapsed)
+	}
+	if err != nil {
+		o.Events.Emit("cell_error", cellFields(k, elapsed, err))
+	} else {
+		o.Events.Emit("cell_done", cellFields(k, elapsed, nil))
+	}
+	return m, err
+}
+
+// cellFields renders a cell identity (plus optional latency and error)
+// as JSONL event fields.
+func cellFields(k CellKey, elapsed time.Duration, err error) map[string]any {
+	f := map[string]any{
+		"figure": k.Figure,
+		"app":    k.App,
+		"input":  k.Input,
+		"scheme": k.Scheme,
+	}
+	if k.Bins != 0 {
+		f["bins"] = k.Bins
+	}
+	if elapsed > 0 {
+		f["ms"] = float64(elapsed.Microseconds()) / 1000
+	}
+	if err != nil {
+		f["error"] = err.Error()
+	}
+	return f
 }

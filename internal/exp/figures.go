@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"cobra/internal/obsv"
 	"cobra/internal/sim"
 	"cobra/internal/stats"
 )
@@ -31,6 +32,15 @@ type Opts struct {
 	// cell and replays already-completed cells on resume (see
 	// checkpoint.go).
 	Journal *Journal
+
+	// Progress, when non-nil, receives live completion updates (cell
+	// totals as figures declare them, per-cell completions, journal
+	// replays) for the -progress line. Nil is a no-op sink.
+	Progress *obsv.Progress
+	// Events, when non-nil, receives the structured JSONL event stream
+	// (cell_done / cell_replay with identity and latency). Nil is a
+	// no-op sink.
+	Events *obsv.EventLog
 }
 
 // workers resolves the pool size for this regeneration.
@@ -54,8 +64,11 @@ func (o Opts) ctx() context.Context {
 // schedules through this (never raw goroutines), so one Ctrl-C drains
 // every figure the same way.
 func mapCells[T any](o Opts, n int, cell func(i int) (T, error)) ([]T, error) {
+	o.Progress.AddTotal(n)
 	return MapCellsCtx(o.ctx(), o.Parallel, n, func(_ context.Context, i int) (T, error) {
-		return cell(i)
+		v, err := cell(i)
+		o.Progress.CellDone()
+		return v, err
 	})
 }
 
@@ -258,9 +271,11 @@ func runSuite(o Opts) ([]suiteResult, error) {
 	suiteMu.Lock()
 	if rs, ok := suiteCache[key]; ok {
 		suiteMu.Unlock()
+		obsv.Default().Counter("exp.suitecache.hits").Add(1)
 		return rs, nil
 	}
 	suiteMu.Unlock()
+	obsv.Default().Counter("exp.suitecache.misses").Add(1)
 
 	pairs := DefaultSuite()
 

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"cobra/internal/graph"
+	"cobra/internal/obsv"
 	"cobra/internal/sparse"
 )
 
@@ -77,20 +78,41 @@ func entryFor(k inputKey) *inputEntry {
 // concurrent first use exactly one goroutine runs the generator).
 func CachedGraphInput(input string, scale int, seed uint64) (*graph.EdgeList, error) {
 	e := entryFor(inputKey{"graph", input, scale, seed})
+	built := false
 	e.once.Do(func() {
+		built = true
 		inputBuilds.Add(1)
 		e.el, e.err = genGraphInput(input, scale, seed)
 	})
+	countInputLookup(built)
 	return e.el, e.err
+}
+
+// countInputLookup records an input-cache hit or miss (a miss is the
+// lookup that ran the generator; waiters on the same single-flight
+// entry count as hits).
+func countInputLookup(built bool) {
+	reg := obsv.Default()
+	if reg == nil {
+		return
+	}
+	if built {
+		reg.Counter("exp.inputcache.misses").Add(1)
+	} else {
+		reg.Counter("exp.inputcache.hits").Add(1)
+	}
 }
 
 // CachedMatrixInput returns the shared, immutable sparse matrix for the
 // named matrix input, generating it on first use.
 func CachedMatrixInput(input string, scale int, seed uint64) (*sparse.Matrix, error) {
 	e := entryFor(inputKey{"matrix", input, scale, seed})
+	built := false
 	e.once.Do(func() {
+		built = true
 		inputBuilds.Add(1)
 		e.mat, e.err = genMatrixInput(input, scale, seed)
 	})
+	countInputLookup(built)
 	return e.mat, e.err
 }

@@ -32,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cobra/internal/obsv"
 )
 
 // ErrInterrupted reports that a campaign stopped early because its
@@ -97,6 +99,27 @@ func runCell(ctx context.Context, i int, cell func(ctx context.Context, i int) e
 	return cell(ctx, i)
 }
 
+// obsCell wraps runCell with the harness observability hooks: per-cell
+// wall-clock latency ("exp.cell.wall") and completion/failure counts.
+// With observability disabled (nil default registry) this is a single
+// atomic load plus a nil check — zero allocations and no clock reads
+// on the hot path (pinned by TestDisabledRegistryAddsZeroAllocs and
+// BenchmarkObsv*).
+func obsCell(ctx context.Context, i int, cell func(ctx context.Context, i int) error) error {
+	reg := obsv.Default()
+	t := reg.Timer("exp.cell.wall")
+	err := runCell(ctx, i, cell)
+	t.Stop()
+	if reg != nil {
+		if err != nil {
+			reg.Counter("exp.cells.failed").Add(1)
+		} else {
+			reg.Counter("exp.cells.completed").Add(1)
+		}
+	}
+	return err
+}
+
 // RunCells executes cell(i) for every i in [0, n) on a pool of at most
 // `workers` goroutines (resolved via Workers). workers == 1 runs the
 // cells serially on the calling goroutine — the exact serial semantics
@@ -136,7 +159,7 @@ func RunCellsCtx(ctx context.Context, workers, n int, cell func(ctx context.Cont
 			if ctx.Err() != nil {
 				break
 			}
-			errs[started] = runCell(ctx, started, cell)
+			errs[started] = obsCell(ctx, started, cell)
 		}
 	} else {
 		var next atomic.Int64
@@ -153,7 +176,7 @@ func RunCellsCtx(ctx context.Context, workers, n int, cell func(ctx context.Cont
 					if i >= n {
 						return
 					}
-					errs[i] = runCell(ctx, i, cell)
+					errs[i] = obsCell(ctx, i, cell)
 				}
 			}()
 		}

@@ -1,0 +1,410 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises every public method on the disabled (nil)
+// forms — the contract instrumented code relies on to skip "is
+// observability on" branches entirely.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if r.Scope("x") != nil {
+		t.Fatal("Scope of nil registry not nil")
+	}
+	if r.Counter("c") != nil || r.Gauge("g") != nil || r.Histogram("h") != nil {
+		t.Fatal("nil registry handed out instruments")
+	}
+	r.Timer("t").Stop() // zero Timer: no clock read, no panic
+	if len(r.Snapshot()) != 0 || r.Names() != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+
+	var e *EventLog
+	e.Emit("ev", nil)
+	if e.Flush() != nil || e.Close() != nil {
+		t.Fatal("nil event log errored")
+	}
+
+	var p *Progress
+	p.SetLabel("x")
+	p.AddTotal(3)
+	p.CellDone()
+	p.Replayed()
+	p.Finish()
+	if d, tot, rep := p.Counts(); d != 0 || tot != 0 || rep != 0 {
+		t.Fatal("nil progress has counts")
+	}
+	if p.Line() != "" {
+		t.Fatal("nil progress rendered a line")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("counter not memoized by name")
+	}
+	g := r.Gauge("rate")
+	g.Set(1.5)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestScopePrefixesNames(t *testing.T) {
+	r := New()
+	sub := r.Scope("sim").Scope("pbsw")
+	sub.Counter("runs").Add(1)
+	if got := r.Counter("sim.pbsw.runs").Value(); got != 1 {
+		t.Fatalf("scoped counter not visible at full name: %d", got)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "sim.pbsw.runs" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("wall")
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Quantile reports the bucket's upper edge clamped to the observed
+	// max: for these samples p100 lands in the (1.024ms, 2.048ms]
+	// bucket, so the estimate must fall between 2ms and the true 3ms max.
+	if q := h.Quantile(1.0); q < 2*time.Millisecond || q > 3*time.Millisecond {
+		t.Fatalf("p100 = %v, want within [2ms, 3ms]", q)
+	}
+	if q := h.Quantile(0.01); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Fatalf("p1 = %v, want within first bucket's upper edge", q)
+	}
+	// Negative durations clamp to zero instead of corrupting buckets.
+	h.Observe(-time.Second)
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("negative observation changed sum: %v", h.Sum())
+	}
+	snap := r.Snapshot()["wall"]
+	if snap.Kind != "histogram" || snap.Count != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The clamped-to-zero observation becomes the min (recorded as the
+	// 1ns sentinel-preserving floor).
+	if snap.MinSeconds > 1e-6 || snap.MaxSeconds != 0.003 {
+		t.Fatalf("snapshot min/max = %v/%v", snap.MinSeconds, snap.MaxSeconds)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := New().Histogram("w")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	var inBuckets uint64
+	for i := range h.bucket {
+		inBuckets += h.bucket[i].Load()
+	}
+	if inBuckets != 4000 {
+		t.Fatalf("bucket sum = %d, want 4000", inBuckets)
+	}
+}
+
+func TestSnapshotCoversAllKinds(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	if snap["c"].Kind != "counter" || snap["c"].Count != 7 {
+		t.Fatalf("counter snap = %+v", snap["c"])
+	}
+	if snap["g"].Kind != "gauge" || snap["g"].Value != 1.25 {
+		t.Fatalf("gauge snap = %+v", snap["g"])
+	}
+	if got := r.Names(); strings.Join(got, ",") != "c,g,h" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestDefaultRegistrySwap(t *testing.T) {
+	prev := Default()
+	defer SetDefault(prev)
+	if SetDefault(nil); Default() != nil {
+		t.Fatal("default not cleared")
+	}
+	r := New()
+	SetDefault(r)
+	if Default() != r {
+		t.Fatal("default not installed")
+	}
+}
+
+// TestEventLogJSONL: every emitted line must be standalone valid JSON
+// with monotonically increasing seq and parseable RFC3339Nano time.
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEventLog(&buf)
+	fake := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	e.now = func() time.Time { return fake }
+	e.Emit("campaign_start", map[string]any{"figures": 3})
+	e.Emit("cell_done", map[string]any{"figure": "fig10", "ms": 12.5})
+	e.Emit("no_fields", nil)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var n uint64
+	for sc.Scan() {
+		var ev struct {
+			Seq    uint64         `json:"seq"`
+			Time   string         `json:"ts"`
+			Name   string         `json:"ev"`
+			Fields map[string]any `json:"f"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", n, err, sc.Text())
+		}
+		if ev.Seq != n {
+			t.Fatalf("seq = %d, want %d", ev.Seq, n)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev.Time); err != nil {
+			t.Fatalf("bad timestamp %q: %v", ev.Time, err)
+		}
+		if n == 1 && (ev.Name != "cell_done" || ev.Fields["figure"] != "fig10") {
+			t.Fatalf("event 1 = %+v", ev)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d lines, want 3", n)
+	}
+}
+
+// errWriter fails after the first write, to exercise sticky errors.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, bufio.ErrBufferFull
+	}
+	return len(p), nil
+}
+
+func TestEventLogStickyError(t *testing.T) {
+	e := NewEventLog(&errWriter{})
+	// Tiny buffer forces the write through on each Emit.
+	e.w = bufio.NewWriterSize(&errWriter{}, 1)
+	e.Emit("a", nil)
+	e.Emit("b", nil) // second underlying write fails
+	e.Emit("c", nil) // must be dropped, not panic
+	if err := e.Close(); err == nil {
+		t.Fatal("sticky write error not reported by Close")
+	}
+}
+
+func TestCreateEventLogWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	e, err := CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Emit("x", nil)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1 || !json.Valid([]byte(lines[0])) {
+		t.Fatalf("event file contents: %q", data)
+	}
+}
+
+func TestProgressCountsAndLine(t *testing.T) {
+	var buf syncBuffer
+	p := StartProgress(&buf, time.Hour) // ticker effectively disabled
+	p.SetLabel("fig10")
+	p.AddTotal(10)
+	for i := 0; i < 4; i++ {
+		p.CellDone()
+	}
+	p.Replayed()
+	done, total, replayed := p.Counts()
+	if done != 4 || total != 10 || replayed != 1 {
+		t.Fatalf("counts = %d/%d/%d", done, total, replayed)
+	}
+	line := p.Line()
+	for _, want := range []string{"fig10", "4/10 cells", "(1 replayed)"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "4/10 cells") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final render wrong: %q", out)
+	}
+}
+
+// TestProgressPadsShrinkingLines: a shorter line must blank out the
+// tail of a longer previous render (the \r-overwrite contract).
+func TestProgressPadsShrinkingLines(t *testing.T) {
+	var buf syncBuffer
+	p := StartProgress(&buf, time.Hour)
+	p.SetLabel("a-rather-long-figure-label")
+	p.render(false)
+	p.SetLabel("x")
+	p.render(false)
+	frames := strings.Split(buf.String(), "\r")
+	if len(frames) < 3 {
+		t.Fatalf("frames = %q", frames)
+	}
+	if len(frames[2]) < len(frames[1]) {
+		t.Fatalf("short frame not padded: %d < %d", len(frames[2]), len(frames[1]))
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (the renderer goroutine
+// may still be mid-write when the test reads).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("exp.cells.completed").Add(42)
+	m := NewManifest("figures")
+	m.ArchFingerprint = "abc123"
+	m.Scale = 20
+	m.Seed = 7
+	m.Parallel = 4
+	m.AddFigure("fig10", 1500*time.Millisecond)
+	m.AddFigure("fig11", 250*time.Millisecond)
+	m.Checkpoint = &CheckpointInfo{Path: "ckpt.jsonl", Replayed: 3, Recorded: 9}
+	m.Finish(r)
+	if m.WallSeconds < 0 || m.End.Before(m.Start) {
+		t.Fatalf("bad wall clock: %+v", m)
+	}
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "figures" || got.GoVersion == "" || got.GOMAXPROCS <= 0 {
+		t.Fatalf("provenance fields missing: %+v", got)
+	}
+	if got.ArchFingerprint != "abc123" || got.Scale != 20 || got.Seed != 7 || got.Parallel != 4 {
+		t.Fatalf("identity fields lost: %+v", got)
+	}
+	if len(got.Figures) != 2 || got.Figures[0].Name != "fig10" || got.Figures[0].Seconds != 1.5 {
+		t.Fatalf("figure timings lost: %+v", got.Figures)
+	}
+	if got.Checkpoint == nil || got.Checkpoint.Replayed != 3 {
+		t.Fatalf("checkpoint info lost: %+v", got.Checkpoint)
+	}
+	if mv := got.Metrics["exp.cells.completed"]; mv.Kind != "counter" || mv.Count != 42 {
+		t.Fatalf("metric snapshot lost: %+v", got.Metrics)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestBucketForEdges(t *testing.T) {
+	if b := bucketFor(0); b != 0 {
+		t.Fatalf("bucketFor(0) = %d", b)
+	}
+	if b := bucketFor(time.Microsecond); b != 0 {
+		t.Fatalf("bucketFor(1µs) = %d", b)
+	}
+	if b := bucketFor(2 * time.Microsecond); b != 1 {
+		t.Fatalf("bucketFor(2µs) = %d", b)
+	}
+	if b := bucketFor(365 * 24 * time.Hour); b != histBuckets-1 {
+		t.Fatalf("huge duration not clamped to last bucket: %d", b)
+	}
+}

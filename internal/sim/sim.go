@@ -235,6 +235,10 @@ func RunBaseline(app *App, arch Arch) (Metrics, error) {
 	if err := app.Validate(); err != nil {
 		return Metrics{}, err
 	}
+	ro := beginRunObs(SchemeBaseline, app)
+	defer ro.end()
+	applyT := ro.phase("accumulate.wall")
+	defer applyT.Stop()
 	mach := NewMach(arch)
 	applier := app.NewApplier(mach)
 	input := mach.Alloc(uint64(app.NumUpdates) * uint64(app.StreamBytes))
@@ -320,6 +324,8 @@ func RunPBSW(app *App, numBins int, arch Arch) (Metrics, error) {
 	if err := app.Validate(); err != nil {
 		return Metrics{}, err
 	}
+	ro := beginRunObs(SchemePBSW, app)
+	defer ro.end()
 	mach := NewMach(arch)
 	applier := app.NewApplier(mach)
 	input := mach.Alloc(uint64(app.NumUpdates) * uint64(app.StreamBytes))
@@ -327,10 +333,13 @@ func RunPBSW(app *App, numBins int, arch Arch) (Metrics, error) {
 	met := Metrics{App: app.Name, Input: app.InputName, Scheme: SchemePBSW, NumBins: lay.numBins}
 
 	// ---- Init: per-bin tuple counts + prefix sum ----
+	initT := ro.phase("init.wall")
 	runInitCount(mach, app, input, lay.cnt, lay.shift, lay.numBins)
+	initT.Stop()
 	met.InitCycles = mach.CPU.Cycles()
 
 	// ---- Binning ----
+	binT := ro.phase("binning.wall")
 	binStartCyc := mach.CPU.Cycles()
 	binStartCtr := mach.CPU.Ctr
 	binStartMem := memSnap(mach)
@@ -383,15 +392,18 @@ func RunPBSW(app *App, numBins int, arch Arch) (Metrics, error) {
 		fill[b] = 0
 	}
 	mach.CPU.DrainMem()
+	binT.Stop()
 	met.BinCycles = mach.CPU.Cycles() - binStartCyc
 	met.BinCtr = mach.CPU.Ctr.Sub(binStartCtr)
 	met.BinMem = memSnap(mach).sub(binStartMem)
 
 	// ---- Accumulate ----
+	accT := ro.phase("accumulate.wall")
 	accStartCyc := mach.CPU.Cycles()
 	accStartCtr := mach.CPU.Ctr
 	accStartMem := memSnap(mach)
 	runAccumulate(mach, app, applier, bins, lay.bins)
+	accT.Stop()
 	met.AccumCycles = mach.CPU.Cycles() - accStartCyc
 	met.AccumCtr = mach.CPU.Ctr.Sub(accStartCtr)
 	met.AccumMem = memSnap(mach).sub(accStartMem)
@@ -490,6 +502,8 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 		scheme = SchemeComm
 	}
 	met := Metrics{App: app.Name, Input: app.InputName, Scheme: scheme}
+	ro := beginRunObs(scheme, app)
+	defer ro.end()
 
 	// ---- Init: bin-size counting pass (charged to COBRA too) ----
 	// The count array is one slot per *memory bin*; before bininit the
@@ -500,11 +514,14 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 		return Metrics{}, err
 	}
 	cntRegion := mach.Alloc(uint64(m.NumBins()) * 4)
+	initT := ro.phase("init.wall")
 	runInitCount(mach, app, input, cntRegion, m.BinShiftLLC(), m.NumBins())
+	initT.Stop()
 	met.InitCycles = mach.CPU.Cycles()
 	met.NumBins = m.NumBins()
 
 	// ---- Binning: one binupdate per tuple ----
+	binT := ro.phase("binning.wall")
 	binStartCyc := mach.CPU.Cycles()
 	binStartCtr := mach.CPU.Ctr
 	binStartMem := memSnap(mach)
@@ -516,6 +533,7 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 		i++
 	})
 	m.BinFlush()
+	binT.Stop()
 	met.BinCycles = mach.CPU.Cycles() - binStartCyc
 	met.BinCtr = mach.CPU.Ctr.Sub(binStartCtr)
 	met.BinMem = memSnap(mach).sub(binStartMem)
@@ -534,6 +552,7 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 
 	// ---- Accumulate over hardware bins ----
 	binRegion := mach.Alloc(uint64(app.NumUpdates) * uint64(app.TupleBytes))
+	accT := ro.phase("accumulate.wall")
 	accStartCyc := mach.CPU.Cycles()
 	accStartCtr := mach.CPU.Ctr
 	accStartMem := memSnap(mach)
@@ -542,6 +561,7 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 		hwBins = regroupBins(hwBins, opt.MaxLLCBufs)
 	}
 	runAccumulate(mach, app, applier, hwBins, binRegion)
+	accT.Stop()
 	met.AccumCycles = mach.CPU.Cycles() - accStartCyc
 	met.AccumCtr = mach.CPU.Ctr.Sub(accStartCtr)
 	met.AccumMem = memSnap(mach).sub(accStartMem)
@@ -580,6 +600,8 @@ func RunPHI(app *App, numBins int, arch Arch) (Metrics, error) {
 	if !app.Commutative || app.Reduce == nil {
 		return Metrics{}, fmt.Errorf("sim: PHI is inapplicable to %s (§III-B: updates must coalesce losslessly)", app.Name)
 	}
+	ro := beginRunObs(SchemePHI, app)
+	defer ro.end()
 	mach := NewMach(arch)
 	applier := app.NewApplier(mach)
 	input := mach.Alloc(uint64(app.NumUpdates) * uint64(app.StreamBytes))
@@ -592,6 +614,7 @@ func RunPHI(app *App, numBins int, arch Arch) (Metrics, error) {
 
 	// Binning: stream the input (real cache traffic); coalescing and
 	// residue writes are idealized per the paper's PHI methodology.
+	binT := ro.phase("binning.wall")
 	binStart := mach.CPU.Cycles()
 	binStartMem := memSnap(mach)
 	i := 0
@@ -605,15 +628,18 @@ func RunPHI(app *App, numBins int, arch Arch) (Metrics, error) {
 	model.Flush()
 	mach.H.WriteLineDirect((model.St.MemBytes + 63) / 64)
 	mach.CPU.DrainMem()
+	binT.Stop()
 	met.BinCycles = mach.CPU.Cycles() - binStart
 	met.BinMem = memSnap(mach).sub(binStartMem)
 
 	// Accumulate over the coalesced residue with PB-SW's bin count.
 	binRegion := mach.Alloc(uint64(app.NumUpdates) * uint64(app.TupleBytes))
+	accT := ro.phase("accumulate.wall")
 	accStart := mach.CPU.Cycles()
 	accStartCtr := mach.CPU.Ctr
 	accStartMem := memSnap(mach)
 	runAccumulate(mach, app, applier, model.Bins, binRegion)
+	accT.Stop()
 	met.AccumCycles = mach.CPU.Cycles() - accStart
 	met.AccumCtr = mach.CPU.Ctr.Sub(accStartCtr)
 	met.AccumMem = memSnap(mach).sub(accStartMem)

@@ -1,72 +1,15 @@
 package sim
 
+// Internal tests for unexported machinery. The functional scheme tests
+// live in schemes_test.go (package sim_test) on top of the shared
+// workload builders in internal/simtest; the cross-scheme differential
+// oracle is in internal/simtest.
+
 import (
-	"math"
 	"testing"
 
 	"cobra/internal/core"
-	"cobra/internal/stats"
 )
-
-// testApp builds a synthetic irregular-update app: n updates with
-// uniformly random keys over numKeys, pure RMW counters.
-func testApp(numKeys, n int, seed uint64) (*App, *[]uint32) {
-	r := stats.NewRand(seed)
-	keys := make([]uint32, n)
-	for i := range keys {
-		keys[i] = uint32(r.Intn(numKeys))
-	}
-	counts := &[]uint32{}
-	return &App{
-		Name:        "test",
-		InputName:   "synthetic",
-		Commutative: true,
-		TupleBytes:  4,
-		NumKeys:     numKeys,
-		NumUpdates:  n,
-		StreamBytes: 4,
-		ApplyALU:    1,
-		Reduce:      func(a, b uint64) uint64 { return a + b },
-		ForEach: func(emit func(uint32, uint64, bool)) {
-			for _, k := range keys {
-				emit(k, 1, false)
-			}
-		},
-		NewApplier: func(m *Mach) Applier {
-			c := make([]uint32, numKeys)
-			*counts = c
-			return &countApplier{m: m, r: m.Alloc(uint64(numKeys) * 4), c: c}
-		},
-	}, counts
-}
-
-type countApplier struct {
-	m *Mach
-	r Region
-	c []uint32
-}
-
-func (a *countApplier) Apply(key uint32, val uint64) {
-	addr := a.r.Addr(uint64(key) * 4)
-	a.m.CPU.Load(addr)
-	a.m.CPU.Store(addr)
-	a.c[key] += uint32(val)
-}
-
-func refCounts(app *App) []uint32 {
-	ref := make([]uint32, app.NumKeys)
-	app.ForEach(func(k uint32, v uint64, _ bool) { ref[k] += uint32(v) })
-	return ref
-}
-
-func checkCounts(t *testing.T, scheme string, got, want []uint32) {
-	t.Helper()
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("%s: counts[%d] = %d, want %d", scheme, i, got[i], want[i])
-		}
-	}
-}
 
 func TestAllocDisjointPages(t *testing.T) {
 	m := NewMach(DefaultArch())
@@ -77,189 +20,6 @@ func TestAllocDisjointPages(t *testing.T) {
 	}
 	if b.Base < a.Base+100 {
 		t.Fatal("regions overlap")
-	}
-}
-
-func TestValidateRejectsBadApps(t *testing.T) {
-	app, _ := testApp(10, 10, 1)
-	app.TupleBytes = 7
-	if app.Validate() == nil {
-		t.Fatal("bad tuple size accepted")
-	}
-	app.TupleBytes = 4
-	app.NumUpdates = 0
-	if app.Validate() == nil {
-		t.Fatal("empty workload accepted")
-	}
-}
-
-func TestBaselineFunctionalAndMetrics(t *testing.T) {
-	app, counts := testApp(1<<14, 100000, 2)
-	m, err := RunBaseline(app, DefaultArch())
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "baseline", *counts, refCounts(app))
-	if m.Cycles <= 0 || m.Ctr.Instructions == 0 || m.Ctr.Loads == 0 {
-		t.Fatalf("metrics empty: %+v", m)
-	}
-	if m.Scheme != SchemeBaseline {
-		t.Fatal("wrong scheme tag")
-	}
-}
-
-func TestPBSWFunctionalAndPhases(t *testing.T) {
-	app, counts := testApp(1<<14, 100000, 3)
-	m, err := RunPBSW(app, 64, DefaultArch())
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "pbsw", *counts, refCounts(app))
-	if m.NumBins < 32 || m.NumBins > 64 {
-		t.Fatalf("NumBins = %d", m.NumBins)
-	}
-	total := m.InitCycles + m.BinCycles + m.AccumCycles
-	if math.Abs(total-m.Cycles)/m.Cycles > 0.01 {
-		t.Fatalf("phases (%.0f) do not sum to total (%.0f)", total, m.Cycles)
-	}
-	if m.BinCtr.Instructions == 0 || m.AccumCtr.Instructions == 0 {
-		t.Fatal("phase counters empty")
-	}
-	// PB-SW executes far more instructions than baseline (paper: up to 4x).
-	base, _ := RunBaseline(app, DefaultArch())
-	if m.Ctr.Instructions < 2*base.Ctr.Instructions {
-		t.Fatalf("PB-SW instructions (%d) not well above baseline (%d)", m.Ctr.Instructions, base.Ctr.Instructions)
-	}
-}
-
-func TestCOBRAFunctionalAndFaster(t *testing.T) {
-	// Big enough that the counter array exceeds the LLC slice: 1M keys x
-	// 4B = 4MB > 2MB.
-	app, counts := testApp(1<<20, 400000, 4)
-	arch := DefaultArch()
-	base, err := RunBaseline(app, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := append([]uint32(nil), refCounts(app)...)
-	pbsw, err := RunPBSW(app, 512, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "pbsw", *counts, want)
-	cob, err := RunCOBRA(app, CobraOpt{}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "cobra", *counts, want)
-	if !(cob.Cycles < pbsw.Cycles && pbsw.Cycles < base.Cycles) {
-		t.Fatalf("expected COBRA < PB-SW < Baseline cycles, got %.3g / %.3g / %.3g",
-			cob.Cycles, pbsw.Cycles, base.Cycles)
-	}
-	// COBRA executes fewer instructions than PB-SW (Figure 12).
-	if cob.Ctr.Instructions >= pbsw.Ctr.Instructions {
-		t.Fatal("COBRA did not reduce instructions")
-	}
-	// COBRA's binning branch misses are near zero (Figure 12 bottom).
-	if r := cob.BinCtr.BranchMissRate(); r > 0.02 {
-		t.Fatalf("COBRA binning branch miss rate %.3f, want ~0", r)
-	}
-	if cob.NumBins <= pbsw.NumBins {
-		t.Fatalf("COBRA bins (%d) should exceed PB-SW's compromise (%d)", cob.NumBins, pbsw.NumBins)
-	}
-}
-
-func TestCOBRACommCoalesces(t *testing.T) {
-	app, counts := testApp(1<<16, 300000, 5)
-	arch := DefaultArch()
-	plain, err := RunCOBRA(app, CobraOpt{}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "cobra", *counts, refCounts(app))
-	comm, err := RunCOBRA(app, CobraOpt{Coalesce: true}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Coalesced values must still sum correctly.
-	checkCounts(t, "cobra-comm", *counts, refCounts(app))
-	if comm.BinMem.DRAMWriteLines >= plain.BinMem.DRAMWriteLines {
-		t.Fatalf("COBRA-COMM writes (%d lines) not below COBRA (%d)",
-			comm.BinMem.DRAMWriteLines, plain.BinMem.DRAMWriteLines)
-	}
-}
-
-func TestCommRejectsNonCommutative(t *testing.T) {
-	app, _ := testApp(1<<12, 1000, 6)
-	app.Commutative = false
-	if _, err := RunCOBRA(app, CobraOpt{Coalesce: true}, DefaultArch()); err == nil {
-		t.Fatal("COBRA-COMM accepted a non-commutative app")
-	}
-	if _, err := RunPHI(app, 64, DefaultArch()); err == nil {
-		t.Fatal("PHI accepted a non-commutative app")
-	}
-	app.Commutative = true
-	app.Reduce = nil
-	if _, err := RunPHI(app, 64, DefaultArch()); err == nil {
-		t.Fatal("PHI accepted an app without a lossless reducer")
-	}
-}
-
-func TestPHIFunctionalAndTraffic(t *testing.T) {
-	app, counts := testApp(1<<14, 200000, 7)
-	m, err := RunPHI(app, 64, DefaultArch())
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkCounts(t, "phi", *counts, refCounts(app))
-	if m.NumBins > 64 {
-		t.Fatalf("PHI bins = %d", m.NumBins)
-	}
-	// 16K keys over a 200K-update stream coalesce massively on chip:
-	// PHI's bin write traffic must be far below one tuple per update.
-	if m.BinMem.DRAMWriteLines*16 > uint64(app.NumUpdates) {
-		t.Fatalf("PHI wrote %d lines; expected heavy coalescing", m.BinMem.DRAMWriteLines)
-	}
-}
-
-func TestIdealPBComposition(t *testing.T) {
-	app, _ := testApp(1<<16, 200000, 8)
-	arch := DefaultArch()
-	small, err := RunPBSW(app, 16, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	large, err := RunPBSW(app, 4096, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ideal := IdealPB(small, large)
-	if ideal.Scheme != SchemePBIdeal {
-		t.Fatal("wrong scheme")
-	}
-	want := small.InitCycles + small.BinCycles + large.AccumCycles
-	if ideal.Cycles != want {
-		t.Fatalf("ideal cycles %.0f, want %.0f", ideal.Cycles, want)
-	}
-	if ideal.Cycles > small.Cycles || ideal.Cycles > large.Cycles {
-		t.Fatal("ideal must be at least as fast as both parents")
-	}
-}
-
-func TestEvictBufSizeMonotone(t *testing.T) {
-	app, _ := testApp(1<<18, 300000, 9)
-	arch := DefaultArch()
-	small, err := RunCOBRA(app, CobraOpt{EvictBufL1L2: 1}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	big, err := RunCOBRA(app, CobraOpt{EvictBufL1L2: 64}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if small.EvictStalls < big.EvictStalls {
-		t.Fatalf("1-entry buffer stalled less (%.0f) than 64-entry (%.0f)",
-			small.EvictStalls, big.EvictStalls)
 	}
 }
 
@@ -307,69 +67,18 @@ func TestSpeedupZeroSafe(t *testing.T) {
 	}
 }
 
-func TestSimulationDeterminism(t *testing.T) {
-	// Identical app + arch must reproduce cycle counts bit-for-bit; the
-	// figures' reproducibility rests on this.
-	run := func() (float64, float64, float64) {
-		app, _ := testApp(1<<14, 50000, 21)
-		arch := DefaultArch()
-		b, _ := RunBaseline(app, arch)
-		p, _ := RunPBSW(app, 64, arch)
-		c, _ := RunCOBRA(app, CobraOpt{}, arch)
-		return b.Cycles, p.Cycles, c.Cycles
-	}
-	b1, p1, c1 := run()
-	b2, p2, c2 := run()
-	if b1 != b2 || p1 != p2 || c1 != c2 {
-		t.Fatalf("nondeterministic simulation: (%v,%v,%v) vs (%v,%v,%v)", b1, p1, c1, b2, p2, c2)
-	}
-}
-
-func TestCtxSwitchQuantumMonotone(t *testing.T) {
-	app, _ := testApp(1<<16, 200000, 22)
-	arch := DefaultArch()
-	freq, err := RunCOBRA(app, CobraOpt{CtxSwitchQuantum: 10000, SkipAccum: true}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rare, err := RunCOBRA(app, CobraOpt{CtxSwitchQuantum: 10e6, SkipAccum: true}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if freq.CtxSwitches <= rare.CtxSwitches {
-		t.Fatalf("switches: freq=%d rare=%d", freq.CtxSwitches, rare.CtxSwitches)
-	}
-	if freq.CtxWasteBytes < rare.CtxWasteBytes {
-		t.Fatalf("waste: freq=%d rare=%d", freq.CtxWasteBytes, rare.CtxWasteBytes)
-	}
-}
-
-func TestSkipAccumStopsEarly(t *testing.T) {
-	app, _ := testApp(1<<14, 50000, 23)
-	arch := DefaultArch()
-	full, err := RunCOBRA(app, CobraOpt{}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	binOnly, err := RunCOBRA(app, CobraOpt{SkipAccum: true}, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if binOnly.AccumCycles != 0 || binOnly.Cycles >= full.Cycles {
-		t.Fatalf("SkipAccum did not skip: %+v", binOnly)
-	}
-	if binOnly.BinCycles != full.BinCycles {
-		t.Fatalf("binning cycles differ with/without accumulate: %v vs %v", binOnly.BinCycles, full.BinCycles)
-	}
-}
-
-func TestMaxLLCBufsRegroup(t *testing.T) {
-	app, _ := testApp(1<<16, 100000, 24)
-	m, err := RunCOBRA(app, CobraOpt{MaxLLCBufs: 64}, DefaultArch())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Cycles <= 0 {
-		t.Fatal("capped run produced no cycles")
+func TestSchemeScopeNames(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SchemeBaseline: "sim.baseline",
+		SchemePBSW:     "sim.pbsw",
+		SchemePBIdeal:  "sim.pbideal",
+		SchemeCOBRA:    "sim.cobra",
+		SchemeComm:     "sim.cobracomm",
+		SchemePHI:      "sim.phi",
+		Scheme("??"):   "sim.other",
+	} {
+		if got := schemeScope(s); got != want {
+			t.Fatalf("schemeScope(%s) = %s, want %s", s, got, want)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+package simtest_test
+
+// The cross-scheme differential oracle: every execution scheme must
+// produce the exact functional output of a direct replay of the update
+// stream, across key distributions, scales, and seeds. Any future perf
+// PR that silently breaks scheme equivalence (a dropped tuple in a
+// C-Buffer flush, a mis-split bin, a lossy coalesce) fails here with
+// the first diverging key named.
+
+import (
+	"fmt"
+	"testing"
+
+	"cobra/internal/sim"
+	"cobra/internal/simtest"
+)
+
+// schemeRun names one scheme execution of the differential table.
+type schemeRun struct {
+	name string
+	run  func(app *sim.App, arch sim.Arch) (sim.Metrics, error)
+}
+
+// differentialSchemes enumerates every scheme (and PB-SW bin-count
+// variant) the oracle checks. All four scheme families are covered:
+// Baseline, PB-SW (several bin counts), COBRA (plain + COMM), and PHI.
+func differentialSchemes() []schemeRun {
+	var runs []schemeRun
+	runs = append(runs, schemeRun{"Baseline", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+		return sim.RunBaseline(app, arch)
+	}})
+	for _, bins := range []int{16, 256, 1024} {
+		b := bins
+		runs = append(runs, schemeRun{fmt.Sprintf("PB-SW[%d]", b), func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunPBSW(app, b, arch)
+		}})
+	}
+	runs = append(runs, schemeRun{"COBRA", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+		return sim.RunCOBRA(app, sim.CobraOpt{}, arch)
+	}})
+	runs = append(runs, schemeRun{"COBRA-COMM", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+		return sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, arch)
+	}})
+	runs = append(runs, schemeRun{"PHI", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+		return sim.RunPHI(app, 64, arch)
+	}})
+	return runs
+}
+
+func TestSchemesFunctionallyEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential oracle skipped in -short mode")
+	}
+	arch := sim.DefaultArch()
+	for _, dist := range simtest.Dists() {
+		for _, numKeys := range []int{1 << 12, 1 << 14} {
+			for _, seed := range []uint64{1, 42} {
+				dist, numKeys, seed := dist, numKeys, seed
+				name := fmt.Sprintf("%s/keys=%d/seed=%d", dist, numKeys, seed)
+				t.Run(name, func(t *testing.T) {
+					n := 4 * numKeys
+					app, counts := simtest.CountAppDist(dist, numKeys, n, seed)
+					want := simtest.RefCounts(app)
+					for _, s := range differentialSchemes() {
+						m, err := s.run(app, arch)
+						if err != nil {
+							t.Fatalf("%s: %v", s.name, err)
+						}
+						if m.Cycles <= 0 {
+							t.Fatalf("%s: no cycles simulated", s.name)
+						}
+						simtest.CheckCounts(t, s.name, *counts, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestOracleDetectsDivergence proves the oracle has teeth: a stream
+// whose replay differs from the scheme output must fail the count
+// comparison (meta-test of CheckCounts via a mutated copy).
+func TestOracleDetectsDivergence(t *testing.T) {
+	app, counts := simtest.CountApp(1<<10, 4096, 3)
+	if _, err := sim.RunBaseline(app, sim.DefaultArch()); err != nil {
+		t.Fatal(err)
+	}
+	want := simtest.RefCounts(app)
+	simtest.CheckCounts(t, "baseline", *counts, want)
+	// Corrupt one key's count and verify the oracle notices.
+	mutated := append([]uint32(nil), (*counts)...)
+	mutated[0]++
+	ft := &fakeT{}
+	simtest.CheckCounts(ft, "mutated", mutated, want)
+	if !ft.failed {
+		t.Fatal("CheckCounts accepted diverging functional output")
+	}
+}
+
+// fakeT captures CheckCounts failures without failing the real test.
+type fakeT struct {
+	testing.T
+	failed bool
+}
+
+func (f *fakeT) Fatalf(format string, args ...any) { f.failed = true }
+func (f *fakeT) Helper()                           {}
