@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench coverage figures-quick fmt-check fuzz-smoke
+.PHONY: all build vet test race ci bench coverage figures-quick fmt-check fuzz-smoke serve-smoke
 
 all: ci
 
@@ -21,9 +21,12 @@ test:
 
 # Race-mode pass over the packages that actually spawn goroutines or
 # share state across them (obsv: lock-free counters/histograms, the
-# progress renderer goroutine, and the concurrent event log).
+# progress renderer goroutine, and the concurrent event log; srv: the
+# worker pool, single-flight result cache, and drain-under-load tests).
+# (-timeout 30m: exp's race pass alone runs >10m on a 2-core box, past
+# go test's default per-binary timeout.)
 race:
-	$(GO) test -race ./internal/exp ./internal/obsv ./internal/cache ./internal/pb
+	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.
@@ -40,7 +43,14 @@ coverage:
 	$(GO) test -cover -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet build race coverage fuzz-smoke
+# Process-level service smoke: re-executes the cobrad test binary as a
+# real daemon on an ephemeral port, probes /healthz and /readyz, runs a
+# sync job over HTTP, diffs the metrics against a direct exp.RunScheme
+# call, then SIGTERMs it under load and asserts a clean drain (exit 0).
+serve-smoke:
+	$(GO) test -run '^TestServeSmoke$$' -v ./cmd/cobrad
+
+ci: vet build race coverage fuzz-smoke serve-smoke
 
 # Hot-path microbenchmarks (packed cache metadata; PB binning).
 bench:

@@ -1,0 +1,207 @@
+package main
+
+// Process-level smoke test: `make serve-smoke` runs TestServeSmoke,
+// which re-executes this test binary as a real cobrad process (the
+// classic TestMain re-exec pattern — no network toolchain or separate
+// build step needed), then:
+//
+//  1. waits for the ephemeral listen address to land in -addrfile,
+//  2. probes /healthz and /readyz,
+//  3. runs one sync job over HTTP and diffs the metrics against a
+//     direct exp.RunScheme call (byte-identical after JSON round-trip),
+//  4. fires concurrent load and sends SIGTERM mid-flight,
+//  5. asserts the daemon drains and exits 0.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cobra/internal/exp"
+	"cobra/internal/sim"
+)
+
+// TestMain lets the test binary impersonate cobrad when re-executed
+// with COBRAD_SMOKE_CHILD set: it runs the real daemon main loop and
+// exits with its code.
+func TestMain(m *testing.M) {
+	if os.Getenv("COBRAD_SMOKE_CHILD") == "1" {
+		os.Exit(run(strings.Fields(os.Getenv("COBRAD_SMOKE_ARGS")), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// spawnDaemon re-executes the test binary as a cobrad child and
+// returns the command plus its base URL once the listener is up.
+func spawnDaemon(t *testing.T, extraArgs string) (*exec.Cmd, string) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	args := "-addr 127.0.0.1:0 -addrfile " + addrFile + " " + extraArgs
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "COBRAD_SMOKE_CHILD=1", "COBRAD_SMOKE_ARGS="+args)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("cobrad stderr:\n%s", stderr.String())
+		}
+	})
+	// The daemon publishes its bound address atomically; poll for it.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never published its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke test")
+	}
+	cachePath := filepath.Join(t.TempDir(), "cache.jsonl")
+	cmd, base := spawnDaemon(t, "-workers 2 -queue 8 -max-scale 12 -cache "+cachePath)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Probe liveness and readiness.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// One sync job over HTTP...
+	spec := map[string]any{
+		"app": "DegreeCount", "input": "URND", "scale": 10, "seed": 7,
+		"schemes": []string{"Baseline", "COBRA"}, "bins": 16,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		State   string        `json:"state"`
+		Results []sim.Metrics `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || view.State != "done" || len(view.Results) != 2 {
+		t.Fatalf("sync run: status %d view %+v", resp.StatusCode, view)
+	}
+
+	// ...must match direct exp.RunScheme byte-for-byte after the JSON
+	// round-trip.
+	app, err := exp.BuildApp("DegreeCount", "URND", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct []sim.Metrics
+	for _, s := range []sim.Scheme{sim.SchemeBaseline, sim.SchemeCOBRA} {
+		m, err := exp.RunScheme(app, s, 16, sim.DefaultArch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, m)
+	}
+	got, _ := json.Marshal(view.Results)
+	want, _ := json.Marshal(direct)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("service != direct:\n got %s\nwant %s", got, want)
+	}
+
+	// /metrics exposes the run.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, wantLine := range []string{"srv_jobs_completed 1", "# TYPE srv_queue_depth gauge"} {
+		if !strings.Contains(metrics.String(), wantLine) {
+			t.Fatalf("/metrics missing %q:\n%s", wantLine, metrics.String())
+		}
+	}
+
+	// Concurrent load, then SIGTERM mid-flight: the daemon must drain
+	// and exit 0, and no request may see a 5xx other than the drain 503.
+	var wg sync.WaitGroup
+	codes := make([]int, 32)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := fmt.Sprintf(`{"app":"DegreeCount","input":"URND","scale":9,"seed":%d,"schemes":["Baseline"]}`, i%5)
+			resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+			if err != nil {
+				codes[i] = -1 // connection torn down post-drain: acceptable
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable, -1:
+		default:
+			t.Errorf("request %d: status %d", i, c)
+		}
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("cobrad exited non-zero after SIGTERM: %v", err)
+	}
+
+	// The fsync'd result cache survived the shutdown.
+	if fi, err := os.Stat(cachePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("result cache journal missing or empty after drain: %v", err)
+	}
+}
+
+// TestUsageErrors pins CLI exit discipline: bad flags and stray
+// arguments are usage errors (exit 2), not crashes.
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &out); code != 2 {
+		t.Fatalf("stray arg exit = %d, want 2", code)
+	}
+}

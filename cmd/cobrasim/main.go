@@ -7,10 +7,18 @@
 //
 //	cobrasim -app DegreeCount -input URND -scale 18 -schemes Baseline,PB-SW,COBRA
 //	cobrasim -app NeighborPopulate -input KRON -bins 512
+//	cobrasim -app DegreeCount -input URND -json   # machine-readable metrics
 //	cobrasim -list
+//
+// Every -schemes name is validated up front against the experiment
+// registry: an unknown scheme exits 2 before any simulation runs,
+// instead of failing partway through a multi-scheme run. -json emits
+// the sim.Metrics slice as JSON — the same structs the cobrad service
+// returns, so CLI and API wire formats stay aligned.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		appName = flag.String("app", "DegreeCount", "workload: "+strings.Join(exp.AppNames(), ", "))
 		input   = flag.String("input", "URND", "input: "+strings.Join(exp.InputNames(), ", "))
@@ -30,6 +42,7 @@ func main() {
 		bins    = flag.Int("bins", 0, "PB-SW bin count (0 = sweep for best)")
 		schemes = flag.String("schemes", "Baseline,PB-SW,COBRA", "comma-separated schemes")
 		nuca    = flag.Bool("nuca", false, "model Table II's 4x4-mesh NUCA latency for the shared LLC")
+		asJSON  = flag.Bool("json", false, "emit the metrics slice as JSON (the cobrad wire format) instead of tables")
 		list    = flag.Bool("list", false, "list workloads and inputs, then exit")
 	)
 	flag.Parse()
@@ -37,34 +50,67 @@ func main() {
 	if *list {
 		fmt.Println("workloads:", strings.Join(exp.AppNames(), ", "))
 		fmt.Println("inputs:   ", strings.Join(exp.InputNames(), ", "))
-		fmt.Println("schemes:  ", "Baseline, PB-SW, PB-SW-IDEAL, COBRA, COBRA-COMM, PHI")
-		return
+		fmt.Println("schemes:  ", strings.Join(exp.SchemeNames(), ", "))
+		return 0
+	}
+
+	// Validate every requested scheme before building anything: a typo
+	// in the last scheme must not waste the whole run (usage error,
+	// exit 2).
+	var schemeList []sim.Scheme
+	for _, s := range strings.Split(*schemes, ",") {
+		scheme, err := exp.ParseScheme(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cobrasim:", err)
+			return 2
+		}
+		schemeList = append(schemeList, scheme)
 	}
 
 	app, err := exp.BuildApp(*appName, *input, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cobrasim:", err)
-		os.Exit(1)
+		return 1
 	}
 	arch := sim.DefaultArch()
 	if *nuca {
 		arch.Mem.NUCA = mem.DefaultNUCA()
 	}
-	fmt.Printf("%s on %s: %d keys, %d updates, %d B tuples, commutative=%v\n\n",
-		app.Name, app.InputName, app.NumKeys, app.NumUpdates, app.TupleBytes, app.Commutative)
+	if !*asJSON {
+		fmt.Printf("%s on %s: %d keys, %d updates, %d B tuples, commutative=%v\n\n",
+			app.Name, app.InputName, app.NumKeys, app.NumUpdates, app.TupleBytes, app.Commutative)
+	}
 
 	var results []sim.Metrics
 	var base *sim.Metrics
-	for _, s := range strings.Split(*schemes, ",") {
-		m, err := exp.RunScheme(app, sim.Scheme(strings.TrimSpace(s)), *bins, arch)
+	failed := false
+	for _, scheme := range schemeList {
+		m, err := exp.RunScheme(app, scheme, *bins, arch)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cobrasim: %s: %v\n", s, err)
+			// Scheme names were validated up front; failures here are
+			// applicability errors (e.g. COBRA-COMM on a non-commutative
+			// app). Report and keep going so the valid schemes still run.
+			fmt.Fprintf(os.Stderr, "cobrasim: %s: %v\n", scheme, err)
+			failed = true
 			continue
 		}
 		results = append(results, m)
 		if m.Scheme == sim.SchemeBaseline {
 			base = &results[len(results)-1]
 		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "cobrasim:", err)
+			return 1
+		}
+		if failed {
+			return 1
+		}
+		return 0
 	}
 
 	fmt.Printf("%-12s %12s %10s %12s %12s %12s %8s %9s %8s\n",
@@ -84,4 +130,8 @@ func main() {
 			m.Scheme, m.L1Misses, m.L2Misses, m.LLCMisses, m.LLCMissRate,
 			m.DRAM.ReadLines, m.DRAM.WriteLines)
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -54,6 +54,12 @@ func (k CellKey) fingerprint() string {
 		k.Figure, k.App, k.Input, k.Scale, k.Seed, k.Scheme, k.Bins, k.Arch)
 }
 
+// Fingerprint is the exported form of the canonical cell identity
+// string. The cobrad service keys its content-addressed result cache
+// on it, so a service cache journal and a figures checkpoint journal
+// share one address space (and one on-disk format).
+func (k CellKey) Fingerprint() string { return k.fingerprint() }
+
 // ArchFingerprint digests an architecture configuration into a short
 // stable token. Any config change (cache geometry, policies, MSHRs,
 // NUCA, prefetcher) changes the fingerprint, so checkpoints recorded

@@ -33,6 +33,82 @@ func TestBuildAppErrors(t *testing.T) {
 	if _, err := BuildApp("IntSort", "KRONX", 10, 1); err == nil {
 		t.Fatal("unknown IntSort input accepted")
 	}
+	if _, err := BuildApp("SpMV", "NoSuchMatrix", 10, 1); err == nil {
+		t.Fatal("unknown matrix input accepted")
+	}
+	// Error messages must name the valid sets — they travel to CLI
+	// stderr and service 400 bodies verbatim.
+	_, err := BuildApp("NoSuchApp", "URND", 10, 1)
+	if err == nil || !strings.Contains(err.Error(), "DegreeCount") {
+		t.Fatalf("unknown-app error does not name valid apps: %v", err)
+	}
+}
+
+func TestBuildAppScaleOutOfRange(t *testing.T) {
+	for _, scale := range []int{-1, 0, MinScale - 1, MaxScale + 1, 1 << 20} {
+		if _, err := BuildApp("DegreeCount", "URND", scale, 1); err == nil {
+			t.Errorf("scale %d accepted, want range error", scale)
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("scale %d: error %q does not mention the range", scale, err)
+		}
+	}
+	// Both bounds are inclusive and must build.
+	for _, scale := range []int{MinScale, 12} {
+		if _, err := BuildApp("DegreeCount", "URND", scale, 1); err != nil {
+			t.Errorf("scale %d rejected: %v", scale, err)
+		}
+	}
+}
+
+func TestValidAppAndInput(t *testing.T) {
+	for _, app := range AppNames() {
+		if err := ValidApp(app); err != nil {
+			t.Errorf("ValidApp(%q): %v", app, err)
+		}
+	}
+	if err := ValidApp("NoSuchApp"); err == nil {
+		t.Error("ValidApp accepted an unknown app")
+	}
+	for _, in := range InputNames() {
+		if err := ValidInput(in); err != nil {
+			t.Errorf("ValidInput(%q): %v", in, err)
+		}
+	}
+	if err := ValidInput("NoSuchInput"); err == nil {
+		t.Error("ValidInput accepted an unknown input")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := ParseScheme(name)
+		if err != nil || string(s) != name {
+			t.Errorf("ParseScheme(%q) = %q, %v", name, s, err)
+		}
+	}
+	for _, bad := range []string{"", "baseline", "pb-sw", "COBRA ", "Fastest"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "PB-SW-IDEAL") {
+			t.Errorf("ParseScheme(%q) error does not list valid schemes: %v", bad, err)
+		}
+	}
+}
+
+func TestRunSchemeInvalidName(t *testing.T) {
+	app, err := BuildApp("DegreeCount", "URND", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []sim.Scheme{"", "bogus", "baseline"} {
+		m, err := RunScheme(app, bad, 16, sim.DefaultArch())
+		if err == nil {
+			t.Errorf("RunScheme(%q) accepted", bad)
+		}
+		if m.Cycles != 0 {
+			t.Errorf("RunScheme(%q) returned non-zero metrics with an error", bad)
+		}
+	}
 }
 
 func TestAppAndInputNames(t *testing.T) {

@@ -6,6 +6,7 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"cobra/internal/graph"
 	"cobra/internal/kernels"
@@ -154,6 +155,55 @@ func InputNames() []string {
 	return []string{"KRON", "TWIT", "URND", "ROAD", "STEN", "RAND", "SKEW", "BAND", "SMALLKEY", "BIGKEY", "PERM"}
 }
 
+// ValidApp reports whether name is a registered workload, with an
+// error naming the valid set — the shared validation for CLI flags
+// and service job specs.
+func ValidApp(name string) error {
+	if _, ok := appBuilders[name]; !ok {
+		return fmt.Errorf("exp: unknown workload %q (want one of %v)", name, AppNames())
+	}
+	return nil
+}
+
+// ValidInput reports whether name is a canonical input name, with an
+// error naming the valid set.
+func ValidInput(name string) error {
+	for _, n := range InputNames() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("exp: unknown input %q (want one of %v)", name, InputNames())
+}
+
+// SchemeNames returns the canonical execution-scheme names in
+// presentation order (Figure 10's bars plus the §VII-C
+// specializations). Both CLIs and the cobrad service validate
+// user-supplied scheme names against this list via ParseScheme.
+func SchemeNames() []string {
+	return []string{
+		string(sim.SchemeBaseline),
+		string(sim.SchemePBSW),
+		string(sim.SchemePBIdeal),
+		string(sim.SchemeCOBRA),
+		string(sim.SchemeComm),
+		string(sim.SchemePHI),
+	}
+}
+
+// ParseScheme validates a user-supplied scheme name, returning the
+// typed scheme or an error naming the valid set. Validation is strict
+// (exact case): wire formats and checkpoint fingerprints both key on
+// the canonical spelling.
+func ParseScheme(name string) (sim.Scheme, error) {
+	for _, s := range SchemeNames() {
+		if name == s {
+			return sim.Scheme(s), nil
+		}
+	}
+	return "", fmt.Errorf("exp: unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+}
+
 // GraphApps lists workloads that take graph inputs.
 func GraphApps() []string {
 	return []string{"DegreeCount", "NeighborPopulate", "PageRank", "Radii"}
@@ -162,11 +212,26 @@ func GraphApps() []string {
 // MatrixApps lists workloads that take matrix inputs.
 func MatrixApps() []string { return []string{"SpMV", "Transpose", "SymPerm"} }
 
-// BuildApp constructs a workload by name at the given scale.
+// Scale bounds accepted by BuildApp. Below MinScale the generators'
+// shift arithmetic degenerates (IntSort's SMALLKEY range needs
+// scale-2 bits); above MaxScale a single input is tens of GiB of
+// update stream — far past anything the simulated 1/16th-machine
+// models, and an easy way for a service caller to OOM the process.
+const (
+	MinScale = 4
+	MaxScale = 30
+)
+
+// BuildApp constructs a workload by name at the given scale. The
+// scale must lie in [MinScale, MaxScale]; out-of-range values are a
+// validation error, never a shift panic or an OOM.
 func BuildApp(name, input string, scale int, seed uint64) (*sim.App, error) {
 	b, ok := appBuilders[name]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown workload %q (want one of %v)", name, AppNames())
+	}
+	if scale < MinScale || scale > MaxScale {
+		return nil, fmt.Errorf("exp: scale %d out of range [%d, %d]", scale, MinScale, MaxScale)
 	}
 	return b(input, scale, seed)
 }

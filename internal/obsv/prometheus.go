@@ -1,0 +1,145 @@
+package obsv
+
+// Prometheus text exposition for the registry. The cobrad service
+// serves this from GET /metrics; cmd/figures could equally dump it
+// next to a manifest. The format is the Prometheus text format 0.0.4:
+//
+//	# TYPE exp_cell_wall histogram
+//	exp_cell_wall_bucket{le="2e-06"} 0
+//	...
+//	exp_cell_wall_bucket{le="+Inf"} 12
+//	exp_cell_wall_sum 0.0341
+//	exp_cell_wall_count 12
+//
+// Contract:
+//
+//   - Dotted registry names are sanitized to the Prometheus grammar
+//     ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal rune becomes '_', and
+//     a leading digit gets a '_' prefix ("exp.cell.wall" ->
+//     "exp_cell_wall", "srv.scheme.PB-SW.wall" ->
+//     "srv_scheme_PB_SW_wall").
+//   - Output order is deterministic: families sort by sanitized name
+//     (ties broken by raw name), so two snapshots of the same registry
+//     state are byte-identical — diffable like every other artifact.
+//   - Duration histograms expose the exponential buckets as cumulative
+//     `_bucket{le="..."}` series with le in seconds, plus `_sum`
+//     (seconds) and `_count`. The `+Inf` bucket always equals `_count`
+//     (both are computed from one bucket sweep), so the exposition is
+//     internally consistent even while observations land concurrently.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// promName sanitizes a dotted metric name into the Prometheus
+// identifier grammar.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float64 the way Prometheus clients do: shortest
+// round-trippable decimal/exponent form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily is one metric family staged for deterministic emission.
+type promFamily struct {
+	name string // sanitized
+	raw  string // original dotted name (sort tiebreak)
+	kind string // "counter" | "gauge" | "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// WritePrometheus renders every registered instrument in Prometheus
+// text exposition format. A nil registry writes nothing. The first
+// write error aborts and is returned.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.s.mu.RLock()
+	fams := make([]promFamily, 0, len(r.s.counts)+len(r.s.gauges)+len(r.s.hists))
+	for name, c := range r.s.counts {
+		fams = append(fams, promFamily{name: promName(name), raw: name, kind: "counter", c: c})
+	}
+	for name, g := range r.s.gauges {
+		fams = append(fams, promFamily{name: promName(name), raw: name, kind: "gauge", g: g})
+	}
+	for name, h := range r.s.hists {
+		fams = append(fams, promFamily{name: promName(name), raw: name, kind: "histogram", h: h})
+	}
+	r.s.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool {
+		if fams[i].name != fams[j].name {
+			return fams[i].name < fams[j].name
+		}
+		return fams[i].raw < fams[j].raw
+	})
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		switch f.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, promFloat(f.g.Value()))
+		case "histogram":
+			err = writePromHistogram(w, f.name, f.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family: cumulative buckets
+// (le in seconds; the final clamp bucket folds into +Inf), sum, count.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.bucket[i].Load()
+		// Bucket i spans [2^i, 2^(i+1)) µs; its inclusive Prometheus
+		// upper bound is the upper edge in seconds.
+		le := float64(uint64(1)<<uint(i+1)) * 1e-6
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.bucket[histBuckets-1].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(time.Duration(h.sumNS.Load()).Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}

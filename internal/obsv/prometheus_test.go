@@ -1,0 +1,141 @@
+package obsv
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"exp.cell.wall":        "exp_cell_wall",
+		"srv.scheme.PB-SW":     "srv_scheme_PB_SW",
+		"plain":                "plain",
+		"with:colon_ok9":       "with:colon_ok9",
+		"9leading.digit":       "_9leading_digit",
+		"weird name/with%junk": "weird_name_with_junk",
+		"":                     "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLine is the shape of every non-comment exposition line:
+// name[{le="..."}] value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9+.eEIn-]+$`)
+
+func TestWritePrometheusFormatAndOrder(t *testing.T) {
+	r := New()
+	r.Counter("exp.cells.completed").Add(3)
+	r.Gauge("srv.queue.depth").Set(2.5)
+	h := r.Histogram("srv.scheme.PB-SW.wall")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(500 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	// Every line is either a TYPE comment or a valid sample line.
+	var families []string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", ln)
+			}
+			families = append(families, parts[2])
+			continue
+		}
+		if !promLine.MatchString(ln) {
+			t.Fatalf("line does not parse as Prometheus sample: %q", ln)
+		}
+	}
+	// Families are sorted by sanitized name.
+	for i := 1; i < len(families); i++ {
+		if families[i-1] > families[i] {
+			t.Fatalf("families out of order: %q > %q", families[i-1], families[i])
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE exp_cells_completed counter\nexp_cells_completed 3\n",
+		"# TYPE srv_queue_depth gauge\nsrv_queue_depth 2.5\n",
+		"# TYPE srv_scheme_PB_SW_wall histogram\n",
+		"srv_scheme_PB_SW_wall_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets are cumulative and +Inf equals count.
+	var prev uint64
+	var infSeen bool
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "srv_scheme_PB_SW_wall_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(ln[strings.LastIndex(ln, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %q", ln)
+		}
+		prev = v
+		if strings.Contains(ln, `le="+Inf"`) {
+			infSeen = true
+			if v != 2 {
+				t.Fatalf("+Inf bucket = %d, want 2", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(1)
+	r.Counter("a.count").Add(2)
+	r.Gauge("m.gauge").Set(1)
+	r.Histogram("z.h").Observe(time.Millisecond)
+	var one, two bytes.Buffer
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("two snapshots of an idle registry differ:\n%s\n---\n%s", one.String(), two.String())
+	}
+	if !strings.Contains(one.String(), "a_count 2") || !strings.Contains(one.String(), "b_count 1") {
+		t.Fatalf("missing counters:\n%s", one.String())
+	}
+	if strings.Index(one.String(), "a_count") > strings.Index(one.String(), "b_count") {
+		t.Fatal("a_count should sort before b_count")
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}

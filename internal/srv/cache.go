@@ -1,0 +1,144 @@
+package srv
+
+// Content-addressed result cache. Every scheme execution the service
+// performs is one simulation cell — a deterministic function of
+// (app, input, scale, seed, scheme, bins, arch) — so results are
+// addressed by the exact checkpoint cell fingerprint cmd/figures
+// journals under (exp.CellKey.Fingerprint). Three layers:
+//
+//  1. single-flight: concurrent requests for the same fingerprint
+//     collapse onto one computation; waiters count as cache hits.
+//  2. the persistent journal (optional): the same fsync'd JSONL format
+//     as figure checkpoints, so the cache survives restarts and a
+//     cobrad cache file can even seed a figures -resume run.
+//  3. a plain in-memory map when no journal is configured.
+//
+// Errors are never cached: a failed computation propagates to its
+// waiters, and the next request recomputes.
+
+import (
+	"fmt"
+	"sync"
+
+	"cobra/internal/exp"
+	"cobra/internal/obsv"
+	"cobra/internal/sim"
+)
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	m    sim.Metrics
+	err  error
+}
+
+// resultCache is the fingerprint-keyed result store.
+type resultCache struct {
+	reg     *obsv.Registry // nil-safe
+	journal *exp.Journal   // optional persistence
+
+	mu       sync.Mutex
+	mem      map[string]sim.Metrics // used when journal == nil
+	inflight map[string]*flight
+}
+
+func newResultCache(journal *exp.Journal, reg *obsv.Registry) *resultCache {
+	return &resultCache{
+		reg:      reg,
+		journal:  journal,
+		mem:      map[string]sim.Metrics{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	if c.journal != nil {
+		return c.journal.Len()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// lookupLocked consults the persistent or in-memory store. Caller
+// holds c.mu.
+func (c *resultCache) lookupLocked(key exp.CellKey, fp string) (sim.Metrics, bool) {
+	if c.journal != nil {
+		return c.journal.Lookup(key)
+	}
+	m, ok := c.mem[fp]
+	return m, ok
+}
+
+// getOrRun returns the cached metrics for key, computing (and
+// recording) them on a miss. The boolean reports a cache hit — a
+// stored result or a ride on another request's in-flight computation.
+//
+// Panic safety: compute runs inside the exp cell panic barrier at the
+// call site, but the flight is settled via defer here too, so even a
+// panic that escapes this frame can never strand waiters on a flight
+// that will not close.
+func (c *resultCache) getOrRun(key exp.CellKey, compute func() (sim.Metrics, error)) (m sim.Metrics, hit bool, err error) {
+	fp := key.Fingerprint()
+	c.mu.Lock()
+	if f := c.inflight[fp]; f != nil {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return sim.Metrics{}, false, f.err
+		}
+		c.count(true)
+		return f.m, true, nil
+	}
+	if m, ok := c.lookupLocked(key, fp); ok {
+		c.mu.Unlock()
+		c.count(true)
+		return m, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[fp] = f
+	c.mu.Unlock()
+
+	settled := false
+	defer func() {
+		if !settled {
+			// compute panicked past us: fail the flight so waiters wake,
+			// then let the panic continue to the exp cell barrier.
+			c.settle(fp, f, sim.Metrics{}, fmt.Errorf("srv: computation for %s panicked", fp))
+		}
+	}()
+	m, err = compute()
+	if err == nil && c.journal != nil {
+		err = c.journal.Record(key, m)
+	}
+	c.settle(fp, f, m, err)
+	settled = true
+	if err != nil {
+		return sim.Metrics{}, false, err
+	}
+	c.count(false)
+	return m, false, nil
+}
+
+// settle publishes the flight's outcome, stores successful results,
+// and removes the in-flight marker.
+func (c *resultCache) settle(fp string, f *flight, m sim.Metrics, err error) {
+	f.m, f.err = m, err
+	c.mu.Lock()
+	if err == nil && c.journal == nil {
+		c.mem[fp] = m
+	}
+	delete(c.inflight, fp)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// count records a cache hit or miss in the registry (nil-safe).
+func (c *resultCache) count(hit bool) {
+	if hit {
+		c.reg.Counter("srv.cache.hits").Add(1)
+	} else {
+		c.reg.Counter("srv.cache.misses").Add(1)
+	}
+}

@@ -1,0 +1,218 @@
+// Package srv is the cobrad simulation service: a long-running
+// HTTP/JSON daemon that accepts simulation jobs (app, input, scale,
+// seed, schemes, arch knobs), executes them on a bounded worker pool
+// built on the exp campaign machinery (per-cell panic isolation and
+// timeouts), and serves results from a content-addressed cache keyed
+// by the checkpoint cell fingerprint. See DESIGN.md §"cobrad service"
+// for the job lifecycle and the drain/flush shutdown order.
+package srv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cobra/internal/exp"
+	"cobra/internal/sim"
+)
+
+// JobSpec is the wire form of one simulation request. It is exactly
+// the parameter set of an exp simulation cell group: one (app, input,
+// scale, seed) workload run through one or more schemes.
+type JobSpec struct {
+	App   string `json:"app"`
+	Input string `json:"input"`
+	// Scale is the input scale (keys/vertices ~ 2^scale); 0 selects the
+	// server's default. Bounded by exp.MinScale..min(exp.MaxScale,
+	// server max).
+	Scale int    `json:"scale,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Schemes is the list of execution schemes to run; every name must
+	// be one of exp.SchemeNames(). At least one is required.
+	Schemes []string `json:"schemes"`
+	// Bins is the PB-SW/PHI bin count; 0 sweeps for the best (slower,
+	// still deterministic — the sweep result is part of the cell's
+	// identity).
+	Bins int `json:"bins,omitempty"`
+	// NUCA enables Table II's 4x4-mesh NUCA latency model. Arch knobs
+	// are part of the cache fingerprint, so NUCA and non-NUCA results
+	// never alias.
+	NUCA bool `json:"nuca,omitempty"`
+	// TimeoutMS caps this job's wall-clock; 0 uses the server default.
+	// Clamped to the server maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize validates the spec against the experiment registry and
+// the server limits, filling defaults in place and returning the
+// parsed schemes. Every violation is a client error (HTTP 400).
+func (sp *JobSpec) normalize(cfg Config) ([]sim.Scheme, error) {
+	if err := exp.ValidApp(sp.App); err != nil {
+		return nil, err
+	}
+	if err := exp.ValidInput(sp.Input); err != nil {
+		return nil, err
+	}
+	if sp.Scale == 0 {
+		sp.Scale = cfg.DefaultScale
+	}
+	maxScale := cfg.MaxScale
+	if maxScale <= 0 || maxScale > exp.MaxScale {
+		maxScale = exp.MaxScale
+	}
+	if sp.Scale < exp.MinScale || sp.Scale > maxScale {
+		return nil, fmt.Errorf("srv: scale %d out of range [%d, %d]", sp.Scale, exp.MinScale, maxScale)
+	}
+	if len(sp.Schemes) == 0 {
+		return nil, fmt.Errorf("srv: job needs at least one scheme (want of %v)", exp.SchemeNames())
+	}
+	schemes := make([]sim.Scheme, len(sp.Schemes))
+	seen := map[string]bool{}
+	for i, name := range sp.Schemes {
+		s, err := exp.ParseScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("srv: duplicate scheme %q in job", name)
+		}
+		seen[name] = true
+		schemes[i] = s
+	}
+	if sp.Bins < 0 {
+		return nil, fmt.Errorf("srv: negative bin count %d", sp.Bins)
+	}
+	if sp.TimeoutMS < 0 {
+		return nil, fmt.Errorf("srv: negative timeout_ms %d", sp.TimeoutMS)
+	}
+	if maxMS := cfg.MaxJobTimeout.Milliseconds(); maxMS > 0 && sp.TimeoutMS > maxMS {
+		sp.TimeoutMS = maxMS
+	}
+	return schemes, nil
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle: queued -> running -> done|failed; queued -> canceled
+// (only during drain, when the server stops dispatching queued jobs).
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one accepted simulation request. All mutation goes through
+// the state methods; readers take View snapshots.
+type Job struct {
+	id      string
+	spec    JobSpec
+	schemes []sim.Scheme
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	results   []sim.Metrics
+	hits      int // scheme cells served from the result cache
+	misses    int // scheme cells simulated fresh
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// done closes exactly once when the job reaches a terminal state;
+	// sync /v1/run handlers and tests wait on it.
+	done chan struct{}
+}
+
+func newJob(id string, spec JobSpec, schemes []sim.Scheme, now time.Time) *Job {
+	return &Job{
+		id:        id,
+		spec:      spec,
+		schemes:   schemes,
+		state:     JobQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+}
+
+// Done returns the completion channel (closed at any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = now
+}
+
+// finish moves the job to its terminal state and releases waiters.
+func (j *Job) finish(results []sim.Metrics, hits, misses int, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.hits, j.misses = hits, misses
+	j.finished = now
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.results = results
+	}
+	close(j.done)
+}
+
+// cancel marks a never-started job canceled (drain path).
+func (j *Job) cancel(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return
+	}
+	j.state = JobCanceled
+	j.errMsg = "srv: server draining; job was never started"
+	j.finished = now
+	close(j.done)
+}
+
+// JobView is the JSON representation served by GET /v1/jobs/{id} and
+// POST /v1/run. Results carry the exact sim.Metrics structs the
+// figures pipeline uses, so CLI (-json) and API wire formats align.
+type JobView struct {
+	ID          string        `json:"id"`
+	State       JobState      `json:"state"`
+	Spec        JobSpec       `json:"spec"`
+	Error       string        `json:"error,omitempty"`
+	Results     []sim.Metrics `json:"results,omitempty"`
+	CacheHits   int           `json:"cache_hits"`
+	CacheMisses int           `json:"cache_misses"`
+	SubmittedAt string        `json:"submitted_at,omitempty"`
+	StartedAt   string        `json:"started_at,omitempty"`
+	FinishedAt  string        `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Error:       j.errMsg,
+		Results:     j.results,
+		CacheHits:   j.hits,
+		CacheMisses: j.misses,
+	}
+	if !j.submitted.IsZero() {
+		v.SubmittedAt = j.submitted.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}

@@ -1,0 +1,321 @@
+package srv
+
+// Server: bounded job queue + worker pool + result cache.
+//
+// Request path:  handler -> validate -> enqueue (non-blocking; a full
+// queue is backpressure, HTTP 429) -> worker dequeues -> each scheme
+// runs as one exp cell (panic isolation, per-cell timeout) through the
+// fingerprint-keyed result cache -> job reaches a terminal state and
+// wakes sync waiters.
+//
+// Shutdown path (Drain): flip readiness, stop intake, cancel
+// never-started queued jobs, wait for in-flight jobs to finish, then
+// flush and close the cache journal. The caller (cmd/cobrad) wires
+// this to the first SIGINT/SIGTERM; a second signal aborts hard.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cobra/internal/exp"
+	"cobra/internal/mem"
+	"cobra/internal/obsv"
+	"cobra/internal/sim"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the job worker pool size (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue rejects with 429
+	// (<= 0: 64).
+	QueueDepth int
+	// DefaultScale fills JobSpec.Scale == 0 (<= 0: 16).
+	DefaultScale int
+	// MaxScale caps job scale (0: exp.MaxScale).
+	MaxScale int
+	// DefaultJobTimeout bounds jobs that do not ask for a timeout
+	// (<= 0: 5m); MaxJobTimeout clamps requested ones (<= 0: 30m).
+	DefaultJobTimeout time.Duration
+	MaxJobTimeout     time.Duration
+	// Arch is the base architecture for every job (zero: Table II
+	// defaults). Jobs may toggle the NUCA knob per request.
+	Arch sim.Arch
+	// CachePath, when set, persists the result cache as an fsync'd
+	// JSONL journal (the figures checkpoint format). CacheReset
+	// truncates an existing file instead of resuming from it.
+	CachePath  string
+	CacheReset bool
+	// Reg receives service metrics; nil disables instrumentation
+	// (zero-cost, per the obsv contract).
+	Reg *obsv.Registry
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultScale <= 0 {
+		c.DefaultScale = 16
+	}
+	if c.MaxScale <= 0 || c.MaxScale > exp.MaxScale {
+		c.MaxScale = exp.MaxScale
+	}
+	if c.DefaultJobTimeout <= 0 {
+		c.DefaultJobTimeout = 5 * time.Minute
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 30 * time.Minute
+	}
+	var zero sim.Arch
+	if c.Arch == zero {
+		c.Arch = sim.DefaultArch()
+	}
+	return c
+}
+
+// Server is the cobrad simulation service.
+type Server struct {
+	cfg     Config
+	reg     *obsv.Registry
+	cache   *resultCache
+	journal *exp.Journal
+	archFP  map[bool]string // NUCA toggle -> arch fingerprint
+
+	// qmu serializes intake against queue close; draining flips once.
+	qmu      sync.Mutex
+	queue    chan *Job
+	draining atomic.Bool
+
+	jmu  sync.RWMutex
+	jobs map[string]*Job
+	seq  atomic.Uint64
+
+	inflight atomic.Int64
+	started  atomic.Bool
+	wg       sync.WaitGroup
+	drainDo  sync.Once
+	drainErr error
+}
+
+// New builds a Server (opening the cache journal if configured) but
+// does not start its workers; call Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Reg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	if cfg.CachePath != "" {
+		j, err := exp.OpenJournal(cfg.CachePath, !cfg.CacheReset)
+		if err != nil {
+			return nil, fmt.Errorf("srv: opening result cache: %w", err)
+		}
+		s.journal = j
+	}
+	s.cache = newResultCache(s.journal, s.reg)
+	// Architecture fingerprints are pure functions of the config; both
+	// NUCA variants are precomputed so the job hot path never hashes.
+	nucaArch := cfg.Arch
+	nucaArch.Mem.NUCA = mem.DefaultNUCA()
+	s.archFP = map[bool]string{
+		false: exp.ArchFingerprint(cfg.Arch),
+		true:  exp.ArchFingerprint(nucaArch),
+	}
+	return s, nil
+}
+
+// CacheLen reports the number of fingerprints in the result cache
+// (restored + recorded).
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.reg.Gauge("srv.queue.depth").Set(float64(len(s.queue)))
+				if s.draining.Load() {
+					// Drain: never-started jobs are canceled, not run —
+					// "drain in-flight" must not mean "run the backlog".
+					job.cancel(time.Now())
+					s.reg.Counter("srv.jobs.canceled").Add(1)
+					continue
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop intake, cancel
+// queued jobs, wait (bounded by ctx) for in-flight jobs, then flush
+// and close the cache journal. Idempotent; later calls return the
+// first outcome.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainDo.Do(func() {
+		s.qmu.Lock()
+		s.draining.Store(true)
+		close(s.queue)
+		s.qmu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.drainErr = fmt.Errorf("srv: drain interrupted with %d jobs in flight: %w",
+				s.inflight.Load(), ctx.Err())
+		}
+		if s.journal != nil {
+			// The journal fsyncs per record; Close flushes the handle. Done
+			// after the workers stop so every drained job's cells are on disk.
+			if err := s.journal.Close(); err != nil && s.drainErr == nil {
+				s.drainErr = fmt.Errorf("srv: closing result cache: %w", err)
+			}
+		}
+	})
+	return s.drainErr
+}
+
+// Draining reports whether the server has begun (or finished)
+// draining; /readyz flips on it.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errQueueFull and errDraining classify intake rejections.
+var (
+	errQueueFull = fmt.Errorf("srv: job queue full")
+	errDraining  = fmt.Errorf("srv: server is draining")
+)
+
+// submit validates a spec and enqueues a job. The returned error is
+// nil (job accepted), errQueueFull (backpressure), errDraining, or a
+// validation error.
+func (s *Server) submit(spec JobSpec) (*Job, error) {
+	schemes, err := spec.normalize(s.cfg)
+	if err != nil {
+		s.reg.Counter("srv.jobs.rejected_invalid").Add(1)
+		return nil, err
+	}
+	id := fmt.Sprintf("j-%06d", s.seq.Add(1))
+	job := newJob(id, spec, schemes, time.Now())
+
+	s.qmu.Lock()
+	if s.draining.Load() {
+		s.qmu.Unlock()
+		s.reg.Counter("srv.jobs.rejected_draining").Add(1)
+		return nil, errDraining
+	}
+	select {
+	case s.queue <- job:
+		s.qmu.Unlock()
+	default:
+		s.qmu.Unlock()
+		s.reg.Counter("srv.jobs.rejected_full").Add(1)
+		return nil, errQueueFull
+	}
+
+	s.jmu.Lock()
+	s.jobs[id] = job
+	s.jmu.Unlock()
+	s.reg.Counter("srv.jobs.accepted").Add(1)
+	s.reg.Gauge("srv.queue.depth").Set(float64(len(s.queue)))
+	return job, nil
+}
+
+// lookup returns a submitted job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// timeoutFor resolves a job's effective wall-clock budget.
+func (s *Server) timeoutFor(spec JobSpec) time.Duration {
+	if spec.TimeoutMS > 0 {
+		return time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.DefaultJobTimeout
+}
+
+// runJob executes one job on the calling worker goroutine: every
+// scheme is one exp cell with panic isolation and a per-cell deadline,
+// and every cell goes through the fingerprint cache.
+func (s *Server) runJob(job *Job) {
+	job.setRunning(time.Now())
+	s.reg.Gauge("srv.jobs.inflight").Set(float64(s.inflight.Add(1)))
+	defer func() {
+		s.reg.Gauge("srv.jobs.inflight").Set(float64(s.inflight.Add(-1)))
+	}()
+
+	timeout := s.timeoutFor(job.spec)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	ctx = exp.WithCellTimeout(ctx, timeout)
+
+	arch := s.cfg.Arch
+	if job.spec.NUCA {
+		arch.Mem.NUCA = mem.DefaultNUCA()
+	}
+	archFP := s.archFP[job.spec.NUCA]
+
+	var hits, misses atomic.Int64
+	// Schemes run serially within the job (workers=1): the service's
+	// parallelism unit is the job worker pool, and serial cells keep
+	// per-scheme latency attribution exact.
+	results, err := exp.MapCellsCtx(ctx, 1, len(job.schemes), func(ctx context.Context, i int) (sim.Metrics, error) {
+		scheme := job.schemes[i]
+		key := exp.CellKey{
+			Figure: "srv",
+			App:    job.spec.App,
+			Input:  job.spec.Input,
+			Scale:  job.spec.Scale,
+			Seed:   job.spec.Seed,
+			Scheme: string(scheme),
+			Bins:   job.spec.Bins,
+			Arch:   archFP,
+		}
+		t := s.reg.Timer("srv.scheme." + string(scheme) + ".wall")
+		m, hit, err := s.cache.getOrRun(key, func() (sim.Metrics, error) {
+			app, err := exp.BuildApp(job.spec.App, job.spec.Input, job.spec.Scale, job.spec.Seed)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			return exp.RunScheme(app, scheme, job.spec.Bins, arch)
+		})
+		t.Stop()
+		if err == nil {
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+		}
+		return m, err
+	})
+	if err != nil {
+		s.reg.Counter("srv.jobs.failed").Add(1)
+	} else {
+		s.reg.Counter("srv.jobs.completed").Add(1)
+	}
+	job.finish(results, int(hits.Load()), int(misses.Load()), err, time.Now())
+}
