@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench coverage figures-quick fmt-check fuzz-smoke serve-smoke
+.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke
 
 all: ci
 
@@ -50,12 +50,46 @@ coverage:
 serve-smoke:
 	$(GO) test -run '^TestServeSmoke$$' -v ./cmd/cobrad
 
-ci: vet build race coverage fuzz-smoke serve-smoke
+ci: vet build race coverage fuzz-smoke serve-smoke bench-compare
 
-# Hot-path microbenchmarks (packed cache metadata; PB binning).
+# Hot-path microbenchmarks (packed cache metadata; scalar-vs-batched
+# hierarchy pipeline; PB binning).
 bench:
 	$(GO) test -bench=BenchmarkCacheAccessHot -benchmem ./internal/cache
+	$(GO) test -run='^$$' -bench=BenchmarkHierarchyAccess -benchmem ./internal/mem
 	$(GO) test -bench=. -benchmem ./internal/pb
+
+# Hot-path benchmark comparison against the parent commit: builds
+# HEAD~1 in a throwaway worktree, runs the microbenchmarks on both
+# trees, and reports via benchstat when installed (raw listings
+# otherwise). Informational only — every step tolerates failure — so
+# CI surfaces regressions without gating on a noisy box.
+BENCH_CMP_ARGS = -run='^$$' -bench='BenchmarkCacheAccessHot|BenchmarkHierarchyAccess' -benchmem -count=3 -benchtime=0.3s
+BENCH_CMP_PKGS = ./internal/cache ./internal/mem
+
+bench-compare:
+	-@rm -rf .bench-compare; mkdir -p .bench-compare
+	-@git worktree add -q --detach .bench-compare/head1 HEAD~1 2>/dev/null && \
+	  (cd .bench-compare/head1 && $(GO) test $(BENCH_CMP_ARGS) $(BENCH_CMP_PKGS)) \
+	    > .bench-compare/old.txt 2>&1 || true
+	-@$(GO) test $(BENCH_CMP_ARGS) $(BENCH_CMP_PKGS) > .bench-compare/new.txt 2>&1 || true
+	-@if command -v benchstat >/dev/null 2>&1; then \
+	    benchstat .bench-compare/old.txt .bench-compare/new.txt || true; \
+	  else \
+	    echo "benchstat not installed; raw results:"; \
+	    echo "--- HEAD~1"; cat .bench-compare/old.txt 2>/dev/null; \
+	    echo "--- working tree"; cat .bench-compare/new.txt 2>/dev/null; \
+	  fi
+	-@git worktree remove --force .bench-compare/head1 2>/dev/null || true; rm -rf .bench-compare
+
+# CPU-profile the Fig10 campaign (the batched hot path): writes
+# cpu.pprof at the repo root and prints the top consumers. Raise
+# PROFILE_SCALE for longer, steadier profiles.
+PROFILE_SCALE ?= 13
+profile:
+	$(GO) run ./cmd/figures -fig 10 -scale $(PROFILE_SCALE) -parallel 1 -manifest none \
+	  -o /dev/null -cpuprofile cpu.pprof
+	$(GO) tool pprof -top -nodecount=15 cpu.pprof
 
 # Smoke-regenerate one figure serially and in parallel (outputs must be
 # byte-identical; the exp tests also enforce this).

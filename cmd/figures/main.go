@@ -122,6 +122,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath   = fs.String("trace", "", "write a runtime execution trace to this file")
+		scalarRefs  = fs.Bool("scalarrefs", false, "drive simulations through the scalar per-reference oracle instead of the batched pipeline (byte-identical output, slower; for differential testing)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -152,6 +153,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	opts.Seed = *seed
 	opts.Parallel = *parallel
 	opts.CellTimeout = *cellTimeout
+	if *scalarRefs {
+		opts.Arch = opts.Arch.WithScalarRefs()
+	}
 
 	// Resolve the manifest destination: explicit path, auto (next to
 	// the -o artifact), or disabled.

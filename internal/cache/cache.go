@@ -39,6 +39,15 @@ const (
 	metaTagShift        = 2
 )
 
+// Exported aliases of the packed-metadata layout so BatchView users
+// (package mem's inlined hit path) can compose probe words without
+// duplicating magic numbers.
+const (
+	MetaValid    = metaValid
+	MetaDirty    = metaDirty
+	MetaTagShift = metaTagShift
+)
+
 // Stats aggregates access outcomes for one cache level.
 type Stats struct {
 	Hits       uint64 // accesses that found the line
@@ -293,6 +302,38 @@ func (c *Cache) access(addr uint64, write bool) Result {
 	return c.fill(set, tag, write)
 }
 
+// FillMiss counts a demand miss and installs addr's line, skipping the
+// tag probe — for callers that have already established the line is
+// absent (the batched pipeline's inline probe). The probe it skips has
+// no side effects on a miss, so the outcome is identical to Access on
+// a missing line.
+func (c *Cache) FillMiss(addr uint64, write bool) Result {
+	c.Stats.Misses++
+	return c.fill(c.setIndex(addr), c.tagOf(addr), write)
+}
+
+// PrefetchMiss installs addr's line as a prefetch fill, skipping the
+// tag probe — for callers that have already established (via Probe)
+// that the line is absent. Identical to Prefetch on a missing line.
+func (c *Cache) PrefetchMiss(addr uint64) {
+	c.fill(c.setIndex(addr), c.tagOf(addr), false)
+}
+
+// AccessHitAt applies the demand-hit path at a known-resident line
+// (set, way): dirty update, replacement touch, hit count, MRU filter.
+// For callers that re-verified residency through BatchView metadata
+// and so can skip the tag probe. A set holds at most one valid copy of
+// a tag, so a verified (set, way) is exactly where find would land —
+// the outcome is identical to Access on a hit.
+func (c *Cache) AccessHitAt(set, way int, write bool) {
+	if write {
+		c.meta[set*c.ways+way] |= metaDirty
+	}
+	c.repl.onHit(set, way)
+	c.Stats.Hits++
+	c.lastSet, c.lastWay = int32(set), int32(way)
+}
+
 // find locates tag in set, returning the way or -1. The packed layout
 // makes the scan a single masked compare per way; the MRU filter skips
 // the scan entirely when the last-touched line matches (it re-verifies
@@ -300,13 +341,14 @@ func (c *Cache) access(addr uint64, write bool) Result {
 func (c *Cache) find(set int, tag uint64) int {
 	base := set * c.ways
 	want := tag<<metaTagShift | metaValid
+	row := c.meta[base : base+c.ways]
 	if int(c.lastSet) == set {
-		if w := int(c.lastWay); w >= c.reserved && c.meta[base+w]&^metaDirty == want {
+		if w := int(c.lastWay); w >= c.reserved && row[w]&^metaDirty == want {
 			return w
 		}
 	}
-	for w := c.reserved; w < c.ways; w++ {
-		if c.meta[base+w]&^metaDirty == want {
+	for w := c.reserved; w < len(row); w++ {
+		if row[w]&^metaDirty == want {
 			c.lastSet, c.lastWay = int32(set), int32(w)
 			return w
 		}
@@ -316,17 +358,18 @@ func (c *Cache) find(set int, tag uint64) int {
 
 func (c *Cache) fill(set int, tag uint64, write bool) Result {
 	base := set * c.ways
+	row := c.meta[base : base+c.ways]
 	res := Result{}
 	way := -1
-	for w := c.reserved; w < c.ways; w++ {
-		if c.meta[base+w]&metaValid == 0 {
+	for w := c.reserved; w < len(row); w++ {
+		if row[w]&metaValid == 0 {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		way = c.repl.victim(set, c.reserved)
-		m := c.meta[base+way]
+		m := row[way]
 		res.Evicted = true
 		res.WroteBack = m&metaDirty != 0
 		res.VictimAddr = c.victimAddr(set, m>>metaTagShift)
@@ -339,7 +382,7 @@ func (c *Cache) fill(set int, tag uint64, write bool) Result {
 	if write {
 		m |= metaDirty
 	}
-	c.meta[base+way] = m
+	row[way] = m
 	c.lastSet, c.lastWay = int32(set), int32(way)
 	c.repl.onFill(set, way)
 	c.Stats.Fills++
@@ -349,3 +392,51 @@ func (c *Cache) fill(set int, tag uint64, write bool) Result {
 func (c *Cache) victimAddr(set int, tag uint64) uint64 {
 	return (tag << (LineBits + c.setBits)) | (uint64(set) << LineBits)
 }
+
+// BatchView exposes the packed per-line metadata and (when the policy
+// is mask-based Bit-PLRU) the replacement masks, so package mem can
+// inline this level's hit path inside AccessBatch without a call per
+// reference. The view snapshots the geometry: callers must re-take it
+// after ReserveWays or Reset. Mutations through the view must follow
+// the scalar access semantics exactly (set dirty bit, Bit-PLRU touch),
+// and hits taken through it are folded back via AddBatchHits.
+type BatchView struct {
+	Meta     []uint64 // packed tag<<2|dirty<<1|valid, indexed set*Ways+way
+	PLRU     []uint16 // per-set Bit-PLRU masks; nil if the policy is not mask Bit-PLRU
+	PLRUFull uint16   // mask with all Ways bits set
+	SetMask  uint64
+	SetBits  uint
+	Ways     int
+	Reserved int
+}
+
+// BatchView returns the inline-probe view of this level. PLRU is
+// non-nil only for mask-based Bit-PLRU (ways <= 16); with any other
+// policy a batched caller must keep using the scalar methods, whose
+// replacement updates cannot be replayed externally.
+func (c *Cache) BatchView() BatchView {
+	v := BatchView{
+		Meta:     c.meta,
+		SetMask:  c.setMask,
+		SetBits:  c.setBits,
+		Ways:     c.ways,
+		Reserved: c.reserved,
+	}
+	if p, ok := c.repl.(*bitPLRU); ok {
+		v.PLRU = p.mru
+		v.PLRUFull = p.full
+	}
+	return v
+}
+
+// AddBatchHits folds hits counted by a batched caller (probing through
+// BatchView) into this level's stats. Hit counts are pure sums, so
+// deferring them to one add per batch is counter-exact.
+func (c *Cache) AddBatchHits(n uint64) { c.Stats.Hits += n }
+
+// LastTouched returns the one-entry MRU filter: the (set, way) of the
+// last line located by a demand access or fill (set < 0 if none).
+// Immediately after a demand access of addr it identifies addr's
+// resident line — the handoff a batched caller uses to resume inline
+// probing after a scalar miss-path call.
+func (c *Cache) LastTouched() (set, way int) { return int(c.lastSet), int(c.lastWay) }

@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // PolicyKind selects a replacement policy for a cache level.
 type PolicyKind int
 
@@ -56,19 +58,68 @@ func newReplacer(kind PolicyKind, sets, ways int) replacer {
 	}
 }
 
-// bitPLRU keeps one MRU bit per line. A touch sets the line's bit; when
-// every usable bit in a set is set, all other bits clear. The victim is
+// bitPLRU keeps one MRU bit per line, packed as one mask word per set.
+// A touch sets the line's bit; when every bit in the set is set, all
+// other bits clear (leaving only the touched way marked). The victim is
 // the lowest-indexed usable way with a clear bit.
+//
+// The mask layout makes touch two ALU ops and one store — the
+// branch-light update the batched hit path relies on — and is
+// bit-for-bit equivalent to the per-line boolean layout it replaced:
+// the saturation check covers all ways of the set (including reserved
+// ones, whose stale bits persist exactly as the boolean version's did).
 type bitPLRU struct {
+	ways int
+	full uint16 // all `ways` bits set
+	mru  []uint16
+}
+
+// plruMaxWays bounds the mask representation; wider sets fall back to
+// bitPLRUWide (and forgo the batched fast path).
+const plruMaxWays = 16
+
+func newBitPLRU(sets, ways int) replacer {
+	if ways > plruMaxWays {
+		return &bitPLRUWide{ways: ways, mru: make([]bool, sets*ways)}
+	}
+	return &bitPLRU{ways: ways, full: uint16(1)<<uint(ways) - 1, mru: make([]uint16, sets)}
+}
+
+func (p *bitPLRU) touch(set, way int) {
+	m := p.mru[set] | 1<<uint(way)
+	if m == p.full {
+		m = 1 << uint(way)
+	}
+	p.mru[set] = m
+}
+
+func (p *bitPLRU) onHit(set, way int)  { p.touch(set, way) }
+func (p *bitPLRU) onFill(set, way int) { p.touch(set, way) }
+
+func (p *bitPLRU) reset() {
+	for i := range p.mru {
+		p.mru[i] = 0
+	}
+}
+
+func (p *bitPLRU) victim(set, minWay int) int {
+	// Lowest way >= minWay with a clear MRU bit, else minWay — the same
+	// scan order as the boolean loop, computed with one trailing-zeros.
+	clear := ^p.mru[set] & p.full &^ (uint16(1)<<uint(minWay) - 1)
+	if clear == 0 {
+		return minWay
+	}
+	return bits.TrailingZeros16(clear)
+}
+
+// bitPLRUWide is the boolean-per-line Bit-PLRU used when a set has more
+// ways than the mask word holds. Identical policy decisions.
+type bitPLRUWide struct {
 	ways int
 	mru  []bool // sets*ways
 }
 
-func newBitPLRU(sets, ways int) *bitPLRU {
-	return &bitPLRU{ways: ways, mru: make([]bool, sets*ways)}
-}
-
-func (p *bitPLRU) touch(set, way int) {
+func (p *bitPLRUWide) touch(set, way int) {
 	base := set * p.ways
 	p.mru[base+way] = true
 	for w := 0; w < p.ways; w++ {
@@ -83,16 +134,16 @@ func (p *bitPLRU) touch(set, way int) {
 	}
 }
 
-func (p *bitPLRU) onHit(set, way int)  { p.touch(set, way) }
-func (p *bitPLRU) onFill(set, way int) { p.touch(set, way) }
+func (p *bitPLRUWide) onHit(set, way int)  { p.touch(set, way) }
+func (p *bitPLRUWide) onFill(set, way int) { p.touch(set, way) }
 
-func (p *bitPLRU) reset() {
+func (p *bitPLRUWide) reset() {
 	for i := range p.mru {
 		p.mru[i] = false
 	}
 }
 
-func (p *bitPLRU) victim(set, minWay int) int {
+func (p *bitPLRUWide) victim(set, minWay int) int {
 	base := set * p.ways
 	for w := minWay; w < p.ways; w++ {
 		if !p.mru[base+w] {

@@ -262,9 +262,15 @@ func (m *Machine) BinInit(numIndices uint64) error {
 		if err := c.ReserveWays(waysUsed); err != nil {
 			return fmt.Errorf("core: level %d: %v", l, err)
 		}
+		// One flat backing array for all C-Buffers of this level instead
+		// of numBufs little allocations (the LLC level alone has tens of
+		// thousands). Three-index subslices pin each buffer's capacity to
+		// its own line-sized window, so appends can never bleed into a
+		// neighbouring buffer.
 		bufs := make([][]Tuple, numBufs)
+		flat := make([]Tuple, numBufs*m.tuplesPerLine)
 		for i := range bufs {
-			bufs[i] = make([]Tuple, 0, m.tuplesPerLine)
+			bufs[i] = flat[i*m.tuplesPerLine : i*m.tuplesPerLine : (i+1)*m.tuplesPerLine]
 		}
 		m.lvl[l] = levelState{
 			numBufs:  numBufs,

@@ -18,6 +18,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"cobra/internal/mem"
 )
 
@@ -93,9 +95,16 @@ type Core struct {
 	cycle float64
 
 	// Outstanding-miss slots: issue and completion cycle per busy MSHR;
-	// doneAt == 0 marks a free slot.
+	// doneAt == 0 marks a free slot. busy mirrors doneAt (bit i set ⇔
+	// doneAt[i] != 0) so the occupy scans touch only live slots; it is
+	// maintained only when the MSHR count fits the mask (≤ 64 — wider
+	// configs take the maskless scan in occupyWide).
 	issueAt []float64
 	doneAt  []float64
+	busy    uint64
+
+	// runway caches robRunwayCycles() — a pure function of the config.
+	runway float64
 
 	bp gshare
 }
@@ -108,6 +117,7 @@ func New(cfg Config, h *mem.Hierarchy) *Core {
 		issueAt: make([]float64, cfg.MSHRs),
 		doneAt:  make([]float64, cfg.MSHRs),
 	}
+	c.runway = c.robRunwayCycles()
 	c.bp.init()
 	return c
 }
@@ -187,51 +197,135 @@ func (c *Core) load(addr uint64) float64 {
 // runway past the oldest outstanding miss is exhausted, and returns the
 // completion time.
 func (c *Core) occupy(lat float64) float64 {
-	// Retire completed entries lazily.
-	for i := range c.doneAt {
-		if c.doneAt[i] != 0 && c.doneAt[i] <= c.cycle {
-			c.doneAt[i] = 0
+	if len(c.doneAt) > 64 {
+		return c.occupyWide(lat)
+	}
+	doneAt := c.doneAt
+	issueAt := c.issueAt
+	busy := c.busy
+	// One fused scan over the busy slots only: retire completed entries
+	// lazily, and — against the post-retire state, with c.cycle
+	// unchanged — find the oldest still-outstanding miss. (Equivalent
+	// to the scalar model's full-array passes: retirement depends only
+	// on pre-scan values, bits iterate in ascending index order, and a
+	// clear bit is exactly a free slot.)
+	oldest := -1
+	var oldestIssue float64
+	for m := busy; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		if doneAt[i] <= c.cycle {
+			doneAt[i] = 0
+			busy &^= 1 << uint(i)
+			continue
+		}
+		if oldest < 0 || issueAt[i] < oldestIssue {
+			oldest = i
+			oldestIssue = issueAt[i]
 		}
 	}
 	// ROB bound: the core cannot issue more than `runway` cycles of work
 	// past the issue point of the oldest un-completed miss. When it
 	// tries, it waits for that miss to complete (the ROB drains, real
 	// time jumps to the completion).
-	runway := c.robRunwayCycles()
-	for {
-		oldest := -1
-		for i := range c.doneAt {
-			if c.doneAt[i] == 0 {
-				continue
-			}
-			if oldest < 0 || c.issueAt[i] < c.issueAt[oldest] {
+	runway := c.runway
+	for oldest >= 0 && c.cycle > oldestIssue+runway {
+		if doneAt[oldest] > c.cycle {
+			c.cycle = doneAt[oldest]
+		}
+		doneAt[oldest] = 0
+		busy &^= 1 << uint(oldest)
+		oldest = -1
+		for m := busy; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			if oldest < 0 || issueAt[i] < oldestIssue {
 				oldest = i
+				oldestIssue = issueAt[i]
 			}
 		}
-		if oldest < 0 || c.cycle <= c.issueAt[oldest]+runway {
-			break
-		}
-		if c.doneAt[oldest] > c.cycle {
-			c.cycle = c.doneAt[oldest]
-		}
-		c.doneAt[oldest] = 0
 	}
-	// Find a free MSHR; if none, stall until the earliest completion.
-	slot := -1
-	for i := range c.doneAt {
-		if c.doneAt[i] == 0 {
-			slot = i
-			break
-		}
-	}
-	if slot < 0 {
+	// First free slot; if none, stall until the earliest completion.
+	slot := bits.TrailingZeros64(^busy)
+	if slot >= len(doneAt) {
 		earliest := 0
-		for i := range c.doneAt {
-			if c.doneAt[i] < c.doneAt[earliest] {
+		for i := range doneAt {
+			if doneAt[i] < doneAt[earliest] {
 				earliest = i
 			}
 		}
-		c.cycle = c.doneAt[earliest]
+		c.cycle = doneAt[earliest]
+		slot = earliest
+	}
+	issueAt[slot] = c.cycle
+	done := c.cycle + lat
+	doneAt[slot] = done
+	c.busy = busy | 1<<uint(slot)
+	return done
+}
+
+// occupyWide is the maskless variant for configs with more MSHRs than
+// the busy bitmask holds.
+func (c *Core) occupyWide(lat float64) float64 {
+	doneAt := c.doneAt
+	issueAt := c.issueAt
+	slot := -1
+	oldest := -1
+	for i := range doneAt {
+		d := doneAt[i]
+		if d != 0 && d <= c.cycle {
+			doneAt[i] = 0
+			d = 0
+		}
+		if d == 0 {
+			if slot < 0 {
+				slot = i
+			}
+			continue
+		}
+		if oldest < 0 || issueAt[i] < issueAt[oldest] {
+			oldest = i
+		}
+	}
+	// ROB bound: the core cannot issue more than `runway` cycles of work
+	// past the issue point of the oldest un-completed miss. When it
+	// tries, it waits for that miss to complete (the ROB drains, real
+	// time jumps to the completion). Draining frees slots, so the free
+	// search reruns when the drain loop fires (the rare case).
+	runway := c.runway
+	if oldest >= 0 && c.cycle > issueAt[oldest]+runway {
+		for oldest >= 0 && c.cycle > issueAt[oldest]+runway {
+			if doneAt[oldest] > c.cycle {
+				c.cycle = doneAt[oldest]
+			}
+			doneAt[oldest] = 0
+			oldest = -1
+			for i := range doneAt {
+				if doneAt[i] == 0 {
+					continue
+				}
+				if oldest < 0 || issueAt[i] < issueAt[oldest] {
+					oldest = i
+				}
+			}
+		}
+		slot = -1
+		for i := range doneAt {
+			if doneAt[i] == 0 {
+				slot = i
+				break
+			}
+		}
+	}
+	// If no MSHR is free, stall until the earliest completion.
+	if slot < 0 {
+		earliest := 0
+		for i := range doneAt {
+			if doneAt[i] < doneAt[earliest] {
+				earliest = i
+			}
+		}
+		c.cycle = doneAt[earliest]
 		slot = earliest
 	}
 	c.issueAt[slot] = c.cycle
@@ -304,6 +398,7 @@ func (c *Core) DrainMem() {
 		}
 		c.doneAt[i] = 0
 	}
+	c.busy = 0
 }
 
 // gshare is a standard global-history XOR-indexed 2-bit predictor.

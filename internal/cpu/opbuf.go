@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"cobra/internal/mem"
+)
+
+// OpKind tags one buffered micro-op.
+type OpKind uint8
+
+// Buffered micro-op kinds, mirroring the Core methods.
+const (
+	OpALU OpKind = iota
+	OpLoad
+	OpLoadDep
+	OpStore
+	OpStoreNT
+	OpBranch
+	OpBinUpdate
+)
+
+// Op is one buffered micro-op. Addr is overloaded: the memory address
+// for loads/stores, the branch PC for OpBranch, and the op count for
+// OpALU.
+type Op struct {
+	Addr  uint64
+	Kind  OpKind
+	Taken bool // OpBranch outcome
+}
+
+// opBufCap is the flush threshold. Large enough to amortize the batch
+// setup over many references, small enough that the ref/level scratch
+// stays L1-resident in the host cache.
+const opBufCap = 256
+
+// OpBuf batches micro-ops destined for one Core and retires them in
+// Flush: memory references resolve first through mem.AccessBatch (the
+// hierarchy is cycle-free, so residency state never depends on the
+// core clock), then timing replays the ops in program order performing
+// exactly the floating-point operations the scalar Core methods would
+// — same additions, same divisions, same order — so cycle counts are
+// bit-identical, not merely close.
+//
+// The buffer flushes itself when full; callers must call Flush before
+// reading Cycles/Ctr/hierarchy stats or touching the Core or Hierarchy
+// directly (AdvanceCycles, DrainMem, core.Machine interactions).
+//
+// A buffer built with NewOpBufDirect skips batching entirely and
+// forwards each op to the scalar Core methods as it arrives — the
+// oracle mode the differential tests compare against.
+type OpBuf struct {
+	c      *Core
+	direct bool
+	ops    []Op
+	refs   []mem.Ref
+	levels []mem.Level
+
+	// Hoisted once at construction (the core config is immutable):
+	// latency table indexed by mem.Level, issue width, the 1/width
+	// increment (the same constant division the scalar issue(1)
+	// performs, so reusing its result is bit-identical), and the
+	// branch misprediction penalty.
+	latTab  [4]uint32
+	w       float64
+	oneOp   float64
+	penalty float64
+}
+
+// NewOpBuf builds a batching op buffer for c.
+func NewOpBuf(c *Core) *OpBuf {
+	b := &OpBuf{
+		c:      c,
+		ops:    make([]Op, 0, opBufCap),
+		refs:   make([]mem.Ref, 0, opBufCap),
+		levels: make([]mem.Level, 0, opBufCap),
+	}
+	lat := c.Mem.Config().Lat
+	b.latTab = [4]uint32{lat.L1, lat.L2, lat.LLC, lat.DRAM}
+	b.w = float64(c.cfg.IssueWidth)
+	b.oneOp = float64(1) / b.w
+	b.penalty = float64(c.cfg.BranchPenalty)
+	return b
+}
+
+// NewOpBufDirect builds an oracle buffer that executes every op
+// immediately through the scalar Core methods.
+func NewOpBufDirect(c *Core) *OpBuf {
+	return &OpBuf{c: c, direct: true}
+}
+
+// Direct reports whether this buffer is in scalar oracle mode.
+func (b *OpBuf) Direct() bool { return b.direct }
+
+// Core returns the bound core.
+func (b *OpBuf) Core() *Core { return b.c }
+
+func (b *OpBuf) push(op Op) {
+	if len(b.ops) == cap(b.ops) {
+		b.Flush()
+	}
+	b.ops = append(b.ops, op)
+}
+
+// ALU buffers n simple micro-ops (one issue group, as Core.ALU).
+func (b *OpBuf) ALU(n int) {
+	if n <= 0 {
+		return
+	}
+	if b.direct {
+		b.c.ALU(n)
+		return
+	}
+	b.push(Op{Addr: uint64(n), Kind: OpALU})
+}
+
+// Load buffers an independent load. Memory ops append their mem.Ref at
+// push time so Flush needs no separate ref-building pass.
+func (b *OpBuf) Load(addr uint64) {
+	if b.direct {
+		b.c.Load(addr)
+		return
+	}
+	if len(b.ops) == cap(b.ops) {
+		b.Flush()
+	}
+	b.ops = append(b.ops, Op{Addr: addr, Kind: OpLoad})
+	b.refs = append(b.refs, mem.Ref{Addr: addr, Kind: mem.RefLoad})
+}
+
+// LoadDep buffers a dependent load (execution serializes on its fill).
+func (b *OpBuf) LoadDep(addr uint64) {
+	if b.direct {
+		b.c.LoadDep(addr)
+		return
+	}
+	if len(b.ops) == cap(b.ops) {
+		b.Flush()
+	}
+	b.ops = append(b.ops, Op{Addr: addr, Kind: OpLoadDep})
+	b.refs = append(b.refs, mem.Ref{Addr: addr, Kind: mem.RefLoad})
+}
+
+// Store buffers a demand store.
+func (b *OpBuf) Store(addr uint64) {
+	if b.direct {
+		b.c.Store(addr)
+		return
+	}
+	if len(b.ops) == cap(b.ops) {
+		b.Flush()
+	}
+	b.ops = append(b.ops, Op{Addr: addr, Kind: OpStore})
+	b.refs = append(b.refs, mem.Ref{Addr: addr, Kind: mem.RefStore})
+}
+
+// StoreNT buffers a non-temporal store.
+func (b *OpBuf) StoreNT(addr uint64) {
+	if b.direct {
+		b.c.StoreNT(addr)
+		return
+	}
+	if len(b.ops) == cap(b.ops) {
+		b.Flush()
+	}
+	b.ops = append(b.ops, Op{Addr: addr, Kind: OpStoreNT})
+	b.refs = append(b.refs, mem.Ref{Addr: addr, Kind: mem.RefStoreNT})
+}
+
+// Branch buffers a conditional branch outcome.
+func (b *OpBuf) Branch(pc uint64, taken bool) {
+	if b.direct {
+		b.c.Branch(pc, taken)
+		return
+	}
+	b.push(Op{Addr: pc, Kind: OpBranch, Taken: taken})
+}
+
+// BinUpdate buffers a COBRA binupdate issue slot.
+func (b *OpBuf) BinUpdate() {
+	if b.direct {
+		b.c.BinUpdate()
+		return
+	}
+	b.push(Op{Kind: OpBinUpdate})
+}
+
+// Flush retires every buffered op. Safe to call when empty or direct.
+func (b *OpBuf) Flush() {
+	if len(b.ops) == 0 {
+		return
+	}
+	c := b.c
+
+	// Phase 1: resolve all memory references (accumulated ref-by-ref at
+	// push time). The hierarchy's functional state is independent of the
+	// core clock, so resolving ahead of the timing replay observes
+	// exactly the state each scalar call would.
+	b.levels = c.Mem.AccessBatch(b.refs, b.levels)
+
+	// Phase 2: timing replay in program order, performing the identical
+	// floating-point operations the scalar path would.
+	latTab := b.latTab
+	w := b.w
+	oneOp := b.oneOp
+	penalty := b.penalty
+	li := 0
+	// Event counters accumulate in batch-locals and fold into Ctr once:
+	// integer addition commutes, so the totals are exact; only the cycle
+	// clock (floating point, order-sensitive) updates op-by-op.
+	var instr, aluOps, loads, stores, branches, brMiss, binUpd uint64
+	var loadLvl [4]uint64
+	for i := range b.ops {
+		op := &b.ops[i]
+		switch op.Kind {
+		case OpALU:
+			aluOps += op.Addr
+			instr += op.Addr
+			c.cycle += float64(op.Addr) / w
+		case OpLoad, OpLoadDep:
+			level := b.levels[li]
+			li++
+			loads++
+			instr++
+			c.cycle += oneOp
+			loadLvl[level]++
+			if level != mem.L1 {
+				l := latTab[level]
+				if level == mem.LLC || level == mem.DRAM {
+					l += c.Mem.LLCExtraCycles(op.Addr)
+				}
+				done := c.occupy(float64(l))
+				if op.Kind == OpLoadDep && done > c.cycle {
+					c.cycle = done
+				}
+			}
+		case OpStore:
+			level := b.levels[li]
+			li++
+			stores++
+			instr++
+			c.cycle += oneOp
+			if level != mem.L1 {
+				c.occupy(float64(latTab[level]) / 2)
+			}
+		case OpStoreNT:
+			li++
+			stores++
+			instr++
+			c.cycle += oneOp
+		case OpBranch:
+			branches++
+			instr++
+			c.cycle += oneOp
+			if !c.bp.predict(op.Addr, op.Taken) {
+				brMiss++
+				c.cycle += penalty
+			}
+		default: // OpBinUpdate
+			binUpd++
+			instr++
+			c.cycle += oneOp
+		}
+	}
+	c.Ctr.Instructions += instr
+	c.Ctr.ALUOps += aluOps
+	c.Ctr.Loads += loads
+	c.Ctr.LoadsL1 += loadLvl[mem.L1]
+	c.Ctr.LoadsL2 += loadLvl[mem.L2]
+	c.Ctr.LoadsLLC += loadLvl[mem.LLC]
+	c.Ctr.LoadsDRAM += loadLvl[mem.DRAM]
+	c.Ctr.Stores += stores
+	c.Ctr.Branches += branches
+	c.Ctr.BranchMisses += brMiss
+	c.Ctr.BinUpdates += binUpd
+	b.ops = b.ops[:0]
+	b.refs = b.refs[:0]
+}

@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"cobra/internal/mem"
+)
+
+// genOps produces a random op stream that exercises every op kind,
+// same-line bursts (read-modify-write pairs), streaming runs, and
+// correlated branch outcomes.
+func genOps(rng *rand.Rand, n int) []Op {
+	ops := make([]Op, 0, n)
+	addr := rng.Uint64() % (1 << 22)
+	for len(ops) < n {
+		switch rng.Intn(10) {
+		case 0:
+			ops = append(ops, Op{Addr: uint64(1 + rng.Intn(8)), Kind: OpALU})
+		case 1:
+			addr = rng.Uint64() % (1 << 22)
+			ops = append(ops, Op{Addr: addr, Kind: OpLoad})
+		case 2: // read-modify-write to one address (the accumulate idiom)
+			a := rng.Uint64() % (1 << 22)
+			ops = append(ops, Op{Addr: a, Kind: OpLoad}, Op{Addr: a, Kind: OpStore})
+		case 3:
+			addr += 64
+			ops = append(ops, Op{Addr: addr, Kind: OpLoad})
+		case 4:
+			ops = append(ops, Op{Addr: rng.Uint64() % (1 << 22), Kind: OpLoadDep})
+		case 5:
+			ops = append(ops, Op{Addr: rng.Uint64() % (1 << 22), Kind: OpStore})
+		case 6:
+			addr += 16
+			ops = append(ops, Op{Addr: addr, Kind: OpStoreNT})
+		case 7:
+			pc := uint64(0x100 + 0x100*rng.Intn(3))
+			ops = append(ops, Op{Addr: pc, Kind: OpBranch, Taken: rng.Intn(4) != 0})
+		case 8:
+			ops = append(ops, Op{Kind: OpBinUpdate})
+		default:
+			ops = append(ops, Op{Addr: uint64(1 + rng.Intn(3)), Kind: OpALU})
+		}
+	}
+	return ops[:n]
+}
+
+func feed(b *OpBuf, ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpALU:
+			b.ALU(int(op.Addr))
+		case OpLoad:
+			b.Load(op.Addr)
+		case OpLoadDep:
+			b.LoadDep(op.Addr)
+		case OpStore:
+			b.Store(op.Addr)
+		case OpStoreNT:
+			b.StoreNT(op.Addr)
+		case OpBranch:
+			b.Branch(op.Addr, op.Taken)
+		default:
+			b.BinUpdate()
+		}
+	}
+	b.Flush()
+}
+
+// TestOpBufMatchesScalarCore replays identical op streams through a
+// batching OpBuf and a direct (scalar oracle) OpBuf on twin cores. The
+// cycle clock must match bit-for-bit (==, not within epsilon), and all
+// counters and hierarchy stats must be identical.
+func TestOpBufMatchesScalarCore(t *testing.T) {
+	cfgs := map[string]mem.Config{"default": mem.DefaultConfig()}
+	nuca := mem.DefaultConfig()
+	nuca.NUCA = mem.DefaultNUCA()
+	cfgs["nuca"] = nuca
+	for name, mcfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(123))
+			for trial := 0; trial < 6; trial++ {
+				scalarCore := New(DefaultConfig(), mem.New(mcfg))
+				batchCore := New(DefaultConfig(), mem.New(mcfg))
+				ops := genOps(rng, 5000+rng.Intn(3000))
+				feed(NewOpBufDirect(scalarCore), ops)
+				feed(NewOpBuf(batchCore), ops)
+				if scalarCore.cycle != batchCore.cycle {
+					t.Fatalf("trial %d: cycle diverged: scalar=%v batched=%v (diff %v)",
+						trial, scalarCore.cycle, batchCore.cycle, scalarCore.cycle-batchCore.cycle)
+				}
+				if scalarCore.Ctr != batchCore.Ctr {
+					t.Fatalf("trial %d: counters diverged\nscalar:  %+v\nbatched: %+v",
+						trial, scalarCore.Ctr, batchCore.Ctr)
+				}
+				if s, b := scalarCore.Mem.DRAMTraffic, batchCore.Mem.DRAMTraffic; s != b {
+					t.Fatalf("trial %d: DRAM traffic diverged: %+v vs %+v", trial, s, b)
+				}
+				if s, b := scalarCore.Mem.L1c.Stats, batchCore.Mem.L1c.Stats; s != b {
+					t.Fatalf("trial %d: L1 stats diverged: %+v vs %+v", trial, s, b)
+				}
+				if s, b := scalarCore.Mem.L2c.Stats, batchCore.Mem.L2c.Stats; s != b {
+					t.Fatalf("trial %d: L2 stats diverged: %+v vs %+v", trial, s, b)
+				}
+				if s, b := scalarCore.Mem.LLCc.Stats, batchCore.Mem.LLCc.Stats; s != b {
+					t.Fatalf("trial %d: LLC stats diverged: %+v vs %+v", trial, s, b)
+				}
+			}
+		})
+	}
+}
+
+// TestOpBufFlushBoundaries checks that mid-stream flushes (including
+// DrainMem barriers between them) do not change results.
+func TestOpBufFlushBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ops := genOps(rng, 4000)
+	scalarCore := New(DefaultConfig(), mem.New(mem.DefaultConfig()))
+	feed(NewOpBufDirect(scalarCore), ops)
+	scalarCore.DrainMem()
+
+	batchCore := New(DefaultConfig(), mem.New(mem.DefaultConfig()))
+	b := NewOpBuf(batchCore)
+	for i, op := range ops {
+		feed(b, ops[i:i+1])
+		if i%997 == 0 {
+			b.Flush()
+		}
+		_ = op
+	}
+	b.Flush()
+	batchCore.DrainMem()
+
+	if scalarCore.cycle != batchCore.cycle || scalarCore.Ctr != batchCore.Ctr {
+		t.Fatalf("flush-boundary divergence: cycles %v vs %v", scalarCore.cycle, batchCore.cycle)
+	}
+}
+
+// TestOpBufZeroAllocSteadyState pins the buffered push+flush cycle at
+// zero allocations once constructed.
+func TestOpBufZeroAllocSteadyState(t *testing.T) {
+	core := New(DefaultConfig(), mem.New(mem.DefaultConfig()))
+	b := NewOpBuf(core)
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1024; i++ {
+			b.Load(uint64(i%8) * 64)
+			b.ALU(1)
+			b.Store(uint64(i%8) * 64)
+		}
+		b.Flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("OpBuf steady state allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,299 @@
+package mem
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cobra/internal/cache"
+)
+
+// batchConfigs returns hierarchy configurations spanning the fast path
+// (mask Bit-PLRU L1), the scalar fallback (TrueLRU L1), tiny caches
+// (high conflict pressure), NUCA on/off, and prefetcher on/off.
+func batchConfigs() map[string]Config {
+	tiny := Config{
+		L1:  cache.Config{Name: "L1", SizeB: 1 << 10, Ways: 2, Policy: cache.BitPLRU},
+		L2:  cache.Config{Name: "L2", SizeB: 2 << 10, Ways: 2, Policy: cache.BitPLRU},
+		LLC: cache.Config{Name: "LLC", SizeB: 4 << 10, Ways: 4, Policy: cache.DRRIP},
+		Lat: DefaultLatencies(),
+	}
+	nuca := DefaultConfig()
+	nuca.NUCA = DefaultNUCA()
+	noPf := DefaultConfig()
+	noPf.PrefetchStreams = 0
+	noPf.PrefetchDegree = 0
+	lruL1 := DefaultConfig()
+	lruL1.L1.Policy = cache.TrueLRU
+	tinyPf := tiny
+	tinyPf.PrefetchStreams = 4
+	tinyPf.PrefetchDegree = 2
+	return map[string]Config{
+		"default":  DefaultConfig(),
+		"tiny":     tiny,
+		"tiny_pf":  tinyPf,
+		"nuca":     nuca,
+		"no_pf":    noPf,
+		"lru_l1":   lruL1,
+		"reserved": DefaultConfig(), // ways reserved by the test body
+	}
+}
+
+// replayScalar drives the scalar oracle API.
+func replayScalar(h *Hierarchy, refs []Ref) []Level {
+	out := make([]Level, len(refs))
+	for i, r := range refs {
+		switch r.Kind {
+		case RefStore:
+			out[i] = h.Store(r.Addr)
+		case RefStoreNT:
+			out[i] = h.StoreNT(r.Addr)
+		default:
+			out[i] = h.Load(r.Addr)
+		}
+	}
+	return out
+}
+
+// snapshot captures every externally visible counter of a hierarchy.
+type snapshot struct {
+	L1, L2, LLC cache.Stats
+	Traffic     Traffic
+	L1Lines     int
+	L2Lines     int
+	LLCLines    int
+}
+
+func snap(h *Hierarchy) snapshot {
+	return snapshot{
+		L1: h.L1c.Stats, L2: h.L2c.Stats, LLC: h.LLCc.Stats,
+		Traffic:  h.DRAMTraffic,
+		L1Lines:  h.L1c.OccupiedLines(),
+		L2Lines:  h.L2c.OccupiedLines(),
+		LLCLines: h.LLCc.OccupiedLines(),
+	}
+}
+
+// genRefs builds a stream mixing streaming runs, same-line bursts
+// (the coalescing cases), pointer-chasing randomness, and NT stores.
+func genRefs(rng *rand.Rand, n int, addrSpace uint64) []Ref {
+	refs := make([]Ref, 0, n)
+	for len(refs) < n {
+		addr := rng.Uint64() % addrSpace
+		kind := RefKind(rng.Intn(3))
+		run := 1
+		switch rng.Intn(4) {
+		case 0: // same-line burst: consecutive refs within one line
+			run = 1 + rng.Intn(6)
+		case 1: // short sequential run feeding the prefetcher
+			run = 1 + rng.Intn(8)
+		}
+		for j := 0; j < run && len(refs) < n; j++ {
+			a := addr
+			if rng.Intn(4) == 1 {
+				a = addr + uint64(j)*cache.LineSize
+			} else {
+				a = addr + uint64(rng.Intn(cache.LineSize))
+			}
+			k := kind
+			if rng.Intn(3) == 0 {
+				k = RefKind(rng.Intn(3))
+			}
+			refs = append(refs, Ref{Addr: a, Kind: k})
+		}
+	}
+	return refs[:n]
+}
+
+// TestAccessBatchMatchesScalar replays identical random streams through
+// AccessBatch and the scalar API on twin hierarchies and requires every
+// counter, residency count, and returned level to be bit-identical.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	for name, cfg := range batchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 8; trial++ {
+				scalar := New(cfg)
+				batched := New(cfg)
+				if name == "reserved" {
+					for _, h := range []*Hierarchy{scalar, batched} {
+						if err := h.L1c.ReserveWays(2); err != nil {
+							t.Fatal(err)
+						}
+						if err := h.LLCc.ReserveWays(4); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				// Vary batch sizes so batch boundaries land mid-run.
+				refs := genRefs(rng, 2000+rng.Intn(1000), 1<<uint(14+trial))
+				want := replayScalar(scalar, refs)
+				var got []Level
+				var buf []Level
+				for off := 0; off < len(refs); {
+					sz := 1 + rng.Intn(97)
+					if off+sz > len(refs) {
+						sz = len(refs) - off
+					}
+					buf = batched.AccessBatch(refs[off:off+sz], buf)
+					got = append(got, buf...)
+					off += sz
+				}
+				if !reflect.DeepEqual(want, got) {
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("trial %d: level mismatch at ref %d (%+v): scalar=%v batched=%v",
+								trial, i, refs[i], want[i], got[i])
+						}
+					}
+				}
+				if s, b := snap(scalar), snap(batched); s != b {
+					t.Fatalf("trial %d: state diverged\nscalar:  %+v\nbatched: %+v", trial, s, b)
+				}
+			}
+		})
+	}
+}
+
+// TestAccessBatchInterleavedWithScalar checks the handoff points: a
+// hierarchy may freely alternate between batched and scalar calls.
+func TestAccessBatchInterleavedWithScalar(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(7))
+	oracle := New(cfg)
+	mixed := New(cfg)
+	refs := genRefs(rng, 4000, 1<<18)
+	want := replayScalar(oracle, refs)
+	var got, buf []Level
+	for off := 0; off < len(refs); {
+		sz := 1 + rng.Intn(50)
+		if off+sz > len(refs) {
+			sz = len(refs) - off
+		}
+		if rng.Intn(2) == 0 {
+			got = append(got, replayScalar(mixed, refs[off:off+sz])...)
+		} else {
+			buf = mixed.AccessBatch(refs[off:off+sz], buf)
+			got = append(got, buf...)
+		}
+		off += sz
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("interleaved levels diverged from scalar oracle")
+	}
+	if s, b := snap(oracle), snap(mixed); s != b {
+		t.Fatalf("interleaved state diverged\nscalar: %+v\nmixed:  %+v", s, b)
+	}
+}
+
+// FuzzAccessBatch asserts scalar/batched equivalence on fuzzer-chosen
+// streams: every returned level and every counter must match.
+func FuzzAccessBatch(f *testing.F) {
+	f.Add(uint64(1), uint8(3), []byte{0, 1, 2, 3, 40, 41, 200})
+	f.Add(uint64(99), uint8(16), []byte{7, 7, 7, 7, 7, 7})
+	f.Add(uint64(12345), uint8(30), []byte{255, 0, 255, 0, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, seed uint64, spaceBits uint8, raw []byte) {
+		if len(raw) == 0 || len(raw) > 1<<14 {
+			t.Skip()
+		}
+		bits := uint(spaceBits%28) + 8
+		rng := rand.New(rand.NewSource(int64(seed)))
+		// Derive a ref stream from the raw bytes: each byte contributes
+		// an address perturbation and a kind; the rng picks stream bases.
+		base := rng.Uint64() % (1 << bits)
+		refs := make([]Ref, 0, len(raw))
+		for _, b := range raw {
+			switch b % 7 {
+			case 0: // new random base
+				base = rng.Uint64() % (1 << bits)
+			case 1: // next line (streaming)
+				base += cache.LineSize
+			case 2: // same line, different offset
+				base = (base &^ uint64(cache.LineSize-1)) + uint64(b%cache.LineSize)
+			}
+			refs = append(refs, Ref{Addr: base % (1 << bits), Kind: RefKind(b % 3)})
+		}
+		tiny := Config{
+			L1:  cache.Config{Name: "L1", SizeB: 1 << 10, Ways: 2, Policy: cache.BitPLRU},
+			L2:  cache.Config{Name: "L2", SizeB: 2 << 10, Ways: 2, Policy: cache.BitPLRU},
+			LLC: cache.Config{Name: "LLC", SizeB: 4 << 10, Ways: 4, Policy: cache.DRRIP},
+			Lat: DefaultLatencies(),
+		}
+		tiny.PrefetchStreams = 4
+		tiny.PrefetchDegree = 2
+		for _, cfg := range []Config{DefaultConfig(), tiny} {
+			scalar := New(cfg)
+			batched := New(cfg)
+			want := replayScalar(scalar, refs)
+			got := batched.AccessBatch(refs, nil)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("levels diverged (cfg %s)", cfg.L1.Name)
+			}
+			if s, b := snap(scalar), snap(batched); s != b {
+				t.Fatalf("state diverged\nscalar:  %+v\nbatched: %+v", s, b)
+			}
+		}
+	})
+}
+
+// TestAccessBatchL1HitPathAllocs pins the batched L1-hit path at zero
+// allocations per call once the level buffer is warm.
+func TestAccessBatchL1HitPathAllocs(t *testing.T) {
+	h := New(DefaultConfig())
+	refs := make([]Ref, 256)
+	for i := range refs {
+		// 4 lines, all L1-resident after warmup; mixed kinds.
+		refs[i] = Ref{Addr: uint64(i%4) * cache.LineSize, Kind: RefKind(i % 3)}
+	}
+	out := h.AccessBatch(refs, nil) // warm: fills lines and the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		out = h.AccessBatch(refs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched L1-hit path allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkHierarchyAccessScalar measures the per-reference scalar path
+// on an L1-resident working set (the hot-loop case the batch API
+// optimizes).
+func BenchmarkHierarchyAccessScalar(b *testing.B) {
+	h := New(DefaultConfig())
+	refs := benchRefs()
+	replayScalar(h, refs) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayScalar(h, refs)
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+// BenchmarkHierarchyAccessBatch measures the same stream through
+// AccessBatch.
+func BenchmarkHierarchyAccessBatch(b *testing.B) {
+	h := New(DefaultConfig())
+	refs := benchRefs()
+	out := h.AccessBatch(refs, nil) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = h.AccessBatch(refs, out)
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+// benchRefs mimics an accumulate inner loop: sequential tuple loads
+// from a bin interleaved with read-modify-write pairs to a small
+// cache-resident region.
+func benchRefs() []Ref {
+	refs := make([]Ref, 0, 4096)
+	const region = 16 << 10 // 16 KB accumulator region: L1-resident
+	bin := uint64(1 << 30)
+	for i := 0; len(refs) < cap(refs); i++ {
+		refs = append(refs, Ref{Addr: bin, Kind: RefLoad})
+		bin += 16
+		key := uint64(i*2654435761) % region
+		refs = append(refs, Ref{Addr: key, Kind: RefLoad})
+		refs = append(refs, Ref{Addr: key, Kind: RefStore})
+	}
+	return refs
+}

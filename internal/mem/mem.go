@@ -147,29 +147,49 @@ type Hierarchy struct {
 
 	pf wcAndPf
 
+	// Verified-slot cache over the L2 metadata, shared by the demand
+	// miss path, the prefetcher's residency probes, and L1-victim
+	// writeback installs. Each slot remembers where a line was last
+	// located in L2 (its packed-metadata index); a slot is trusted only
+	// after the live metadata word re-verifies (valid + tag), so
+	// intervening evictions, resets, or reservations can never fake a
+	// hit — they just fall back to the full way scan. Entries are
+	// recorded exclusively from find/fill results, so a verified index
+	// always lies in a non-reserved way (the ways find itself scans).
+	l2SlotLine [64]uint64
+	l2SlotIdx  [64]int32
+	l2Meta     []uint64 // L2 packed metadata (slice identity is stable)
+	l2SetMask  uint64
+	l2TagShift uint
+	l2Ways     int
+
 	DRAMTraffic Traffic
 }
 
 // wcAndPf bundles the prefetcher stream table and the non-temporal
 // write-combining buffer state.
 type wcAndPf struct {
-	streams []stream
-	clock   uint64
-	degree  int
+	// Stream table, struct-of-arrays: the detection scan in
+	// observeStream runs on every L1 demand miss and touches only
+	// lastLine (two cache lines at 16 streams) instead of a struct per
+	// stream. A stream is live iff lastUse != 0 — the clock
+	// pre-increments, so an allocated entry's stamp is always ≥ 1 —
+	// and streams are never invalidated. Never-allocated entries hold
+	// an unreachable sentinel lastLine (no line address reaches
+	// 2^58), so the match scan needs no liveness check.
+	lastLine []uint64
+	lastUse  []uint64
+	dir      []int64 // +1 or -1
+	conf     []int
+	clock    uint64
+	degree   int
+	nvalid   int // live entries; never decreases
 
 	// Non-temporal store write-combining: last few line addresses seen,
 	// so a burst of NT stores to one line costs one DRAM write.
 	wcLines [4]uint64
 	wcValid [4]bool
 	wcNext  int
-}
-
-type stream struct {
-	lastLine uint64
-	dir      int64 // +1 or -1
-	conf     int
-	lastUse  uint64
-	valid    bool
 }
 
 // New builds a hierarchy from cfg.
@@ -180,7 +200,21 @@ func New(cfg Config) *Hierarchy {
 		L2c:  cache.New(cfg.L2),
 		LLCc: cache.New(cfg.LLC),
 	}
-	h.pf.streams = make([]stream, cfg.PrefetchStreams)
+	h.pf.lastLine = make([]uint64, cfg.PrefetchStreams)
+	for i := range h.pf.lastLine {
+		h.pf.lastLine[i] = ^uint64(0) // sentinel: never matches a real line
+	}
+	h.pf.lastUse = make([]uint64, cfg.PrefetchStreams)
+	h.pf.dir = make([]int64, cfg.PrefetchStreams)
+	h.pf.conf = make([]int, cfg.PrefetchStreams)
+	l2v := h.L2c.BatchView()
+	h.l2Meta = l2v.Meta
+	h.l2SetMask = l2v.SetMask
+	h.l2TagShift = cache.LineBits + l2v.SetBits
+	h.l2Ways = l2v.Ways
+	for i := range h.l2SlotLine {
+		h.l2SlotLine[i] = ^uint64(0) // unreachable line: slots start cold
+	}
 	h.pf.degree = cfg.PrefetchDegree
 	return h
 }
@@ -253,9 +287,35 @@ func L1fillFrom(l Level) Level { return l }
 // If that displaces another dirty line, the cascade continues (next ==
 // DRAM means count traffic).
 func (h *Hierarchy) installWriteback(c *cache.Cache, victim uint64, next Level) {
-	r := c.Access(victim, true) // write-allocate the writeback
-	// Undo the demand-stat pollution: writeback installs are not demand
-	// accesses from the core's perspective.
+	if c == h.L2c {
+		// L1 victims usually still sit in L2 (they were filled from
+		// it); a slot-verified hit is Access's hit path with the hit
+		// count immediately undone — i.e. dirty mark + touch only.
+		line := victim >> cache.LineBits
+		slot := line & 63
+		want := victim>>h.l2TagShift<<cache.MetaTagShift | cache.MetaValid
+		if h.l2SlotLine[slot] == line && h.l2Meta[h.l2SlotIdx[slot]]&^cache.MetaDirty == want {
+			set := int(line & h.l2SetMask)
+			c.AccessHitAt(set, int(h.l2SlotIdx[slot])-set*h.l2Ways, true)
+			c.Stats.Hits--
+			return
+		}
+		r := c.Access(victim, true)
+		// The install left the victim resident wherever the access
+		// landed it (hit way or fill way).
+		s, w := c.LastTouched()
+		h.l2SlotLine[slot] = line
+		h.l2SlotIdx[slot] = int32(s*h.l2Ways + w)
+		h.finishWriteback(c, r, next)
+		return
+	}
+	h.finishWriteback(c, c.Access(victim, true), next)
+}
+
+// finishWriteback undoes the demand-stat pollution of a writeback
+// install (writeback installs are not demand accesses from the core's
+// perspective) and counts cascade traffic.
+func (h *Hierarchy) finishWriteback(c *cache.Cache, r cache.Result, next Level) {
 	if r.Hit {
 		c.Stats.Hits--
 	} else {
@@ -289,63 +349,335 @@ func (h *Hierarchy) writeCombine(addr uint64) {
 // `degree` lines into L2 (and LLC if absent), counting DRAM traffic for
 // lines not already on chip.
 func (h *Hierarchy) observeStream(addr uint64) {
-	if h.pf.degree == 0 || len(h.pf.streams) == 0 {
+	if h.pf.degree == 0 || len(h.pf.lastUse) == 0 {
 		return
 	}
 	line := addr >> cache.LineBits
 	h.pf.clock++
-	best := -1
-	for i := range h.pf.streams {
-		s := &h.pf.streams[i]
-		if !s.valid {
-			continue
-		}
-		if line == s.lastLine+uint64(s.dir) || line == s.lastLine {
-			if line != s.lastLine {
-				s.conf++
-				s.lastLine = line
+	lastLine := h.pf.lastLine
+	// Match scan: every match condition (advance, repeat, flip)
+	// requires line within ±1 of lastLine, so one distance check
+	// rejects non-matching streams before the per-condition compares.
+	// Only lastLine is touched — never-allocated entries hold an
+	// unreachable sentinel line and zero direction, so they can never
+	// match and need no liveness check here.
+	for i := range lastLine {
+		if d := line - lastLine[i]; d+1 <= 2 {
+			dir := h.pf.dir[i]
+			if line == lastLine[i]+uint64(dir) || line == lastLine[i] {
+				if line != lastLine[i] {
+					h.pf.conf[i]++
+					lastLine[i] = line
+				}
+				h.pf.lastUse[i] = h.pf.clock
+				if h.pf.conf[i] >= 2 {
+					h.issuePrefetches(line, dir)
+				}
+				return
 			}
-			s.lastUse = h.pf.clock
-			if s.conf >= 2 {
-				h.issuePrefetches(line, s.dir)
+			if line == lastLine[i]-uint64(dir) { // direction flip candidate
+				h.pf.dir[i] = -dir
+				h.pf.conf[i] = 1
+				lastLine[i] = line
+				h.pf.lastUse[i] = h.pf.clock
+				return
 			}
-			return
-		}
-		if line == s.lastLine-uint64(s.dir) { // direction flip candidate
-			s.dir = -s.dir
-			s.conf = 1
-			s.lastLine = line
-			s.lastUse = h.pf.clock
-			return
-		}
-		if best < 0 || s.lastUse < h.pf.streams[best].lastUse {
-			best = i
 		}
 	}
-	// Allocate a new stream entry (reuse invalid or LRU slot).
-	for i := range h.pf.streams {
-		if !h.pf.streams[i].valid {
-			best = i
-			break
+	// No stream matched: allocate an entry — the first never-used slot
+	// while the table is filling (streams are never invalidated, so
+	// once full the empty-slot scan is skipped for good), else the LRU
+	// victim (ascending scan, strict less-than: the first entry with
+	// the minimal stamp, as the fused scalar scan chose).
+	lastUse := h.pf.lastUse
+	best := 0
+	if h.pf.nvalid < len(lastUse) {
+		for i := range lastUse {
+			if lastUse[i] == 0 {
+				best = i
+				break
+			}
+		}
+		h.pf.nvalid++
+	} else {
+		bestUse := ^uint64(0)
+		for i := range lastUse {
+			if use := lastUse[i]; use < bestUse {
+				best = i
+				bestUse = use
+			}
 		}
 	}
-	h.pf.streams[best] = stream{lastLine: line, dir: 1, conf: 0, lastUse: h.pf.clock, valid: true}
+	lastLine[best] = line
+	h.pf.dir[best] = 1
+	h.pf.conf[best] = 0
+	lastUse[best] = h.pf.clock
 }
 
 func (h *Hierarchy) issuePrefetches(line uint64, dir int64) {
 	for k := 1; k <= h.pf.degree; k++ {
 		next := line + uint64(int64(k)*dir)
 		addr := next << cache.LineBits
-		if h.L2c.Probe(addr) {
+		// An advancing stream re-probes lines it prefetched one step
+		// ago, so the slot cache usually confirms residency without the
+		// way scan (Probe's only side effect is the re-verified MRU
+		// hint, so skipping it is unobservable).
+		slot := next & 63
+		want := addr>>h.l2TagShift<<cache.MetaTagShift | cache.MetaValid
+		if h.l2SlotLine[slot] == next && h.l2Meta[h.l2SlotIdx[slot]]&^cache.MetaDirty == want {
 			continue
 		}
-		if !h.LLCc.Probe(addr) {
+		if h.L2c.Probe(addr) {
+			s, w := h.L2c.LastTouched()
+			h.l2SlotLine[slot] = next
+			h.l2SlotIdx[slot] = int32(s*h.l2Ways + w)
+			continue
+		}
+		// Prefetch's return value subsumes the Probe it used to follow
+		// (present → no fill, absent → fill + DRAM read), and the L2
+		// install skips its probe outright: the L2 Probe above already
+		// established absence, and nothing touches L2 in between.
+		if !h.LLCc.Prefetch(addr) {
 			h.DRAMTraffic.ReadLines++
 			h.DRAMTraffic.PrefetchLines++
-			h.LLCc.Prefetch(addr)
 		}
-		h.L2c.Prefetch(addr)
+		h.L2c.PrefetchMiss(addr)
+		s, w := h.L2c.LastTouched()
+		h.l2SlotLine[slot] = next
+		h.l2SlotIdx[slot] = int32(s*h.l2Ways + w)
 	}
+}
+
+// RefKind distinguishes the demand reference types of the simulated
+// machine. The zero value is a load.
+type RefKind uint8
+
+// Reference kinds carried by a batched stream.
+const (
+	RefLoad RefKind = iota
+	RefStore
+	RefStoreNT
+)
+
+// Ref is one memory reference in a batched stream.
+type Ref struct {
+	Addr uint64
+	Kind RefKind
+}
+
+// Residency knowledge carried across consecutive references in a batch.
+const (
+	brNone = iota // nothing known about the previous reference's line
+	brL1          // previous reference's line is L1-resident at l1Idx
+	brWC          // previous reference was an NT store absorbed by an open WC entry
+)
+
+// AccessBatch resolves a stream of references, writing the servicing
+// level of refs[i] into out[i] (out is grown if needed and returned
+// with len(refs) entries — pass a reused buffer for zero allocations).
+//
+// It is counter-exact with the scalar Load/Store/StoreNT sequence: the
+// simulated state after a batch — every hit/miss/eviction/writeback
+// count, DRAM traffic, replacement metadata, prefetcher streams — is
+// bit-identical to issuing the same references one at a time. Three
+// amortizations make it faster, none of them observable:
+//
+//  1. Run-length coalescing: a reference to the same line as its
+//     predecessor, when that line is known L1-resident, is a
+//     guaranteed L1 hit whose only architectural effects are the hit
+//     count and (for stores) the dirty bit — the Bit-PLRU touch of an
+//     already-MRU way is a no-op, so it is skipped. Likewise an NT
+//     store to the line an NT store just write-combined is absorbed
+//     by the open WC entry with no state change at all.
+//  2. Inlined L1 hit path: the tag probe runs against the packed
+//     metadata words through cache.BatchView with a branch-light mask
+//     Bit-PLRU update, avoiding per-reference calls; hits are folded
+//     into L1 stats once per batch (sums commute with the miss path's
+//     in-place corrections).
+//  3. Hoisting: set masks, tag shifts, and way bounds are loaded once
+//     per batch instead of per reference.
+//
+// Misses (and every reference when L1's policy is not mask Bit-PLRU,
+// whose replacement updates cannot be replayed externally) fall back
+// to the scalar methods, which remain the oracle.
+func (h *Hierarchy) AccessBatch(refs []Ref, out []Level) []Level {
+	if cap(out) < len(refs) {
+		out = make([]Level, len(refs))
+	}
+	out = out[:len(refs)]
+	v := h.L1c.BatchView()
+	if v.PLRU == nil {
+		for i, r := range refs {
+			switch r.Kind {
+			case RefStore:
+				out[i] = h.access(r.Addr, true)
+			case RefStoreNT:
+				out[i] = h.StoreNT(r.Addr)
+			default:
+				out[i] = h.access(r.Addr, false)
+			}
+		}
+		return out
+	}
+
+	meta := v.Meta
+	plru := v.PLRU
+	full := v.PLRUFull
+	setMask := v.SetMask
+	tagShift := cache.LineBits + v.SetBits
+	ways := v.Ways
+	reserved := v.Reserved
+
+	const noLine = ^uint64(0)
+	var hits uint64
+	state := brNone
+	curLine := noLine
+	l1Idx := 0
+	// A small direct-mapped cache of recently confirmed L1-resident
+	// lines (line → metadata index). The hot loops interleave several
+	// line streams (input / counter / C-Buffer; bin / accumulator), and
+	// a slot hit replaces the full way scan with one metadata compare.
+	// Slots are hints: a hit is trusted only after the packed word
+	// re-verifies (valid + tag), so intervening evictions can never
+	// fake a hit — they just fall back to the scan.
+	var slotLine [16]uint64
+	var slotIdx [16]int32
+	for i := range slotLine {
+		slotLine[i] = noLine
+	}
+
+	for i, r := range refs {
+		line := r.Addr >> cache.LineBits
+		if line == curLine {
+			if state == brL1 {
+				// Guaranteed L1 hit: nothing intervened since the last
+				// reference left this line resident.
+				if r.Kind != RefLoad {
+					meta[l1Idx] |= cache.MetaDirty
+				}
+				hits++
+				out[i] = L1
+				continue
+			}
+			if state == brWC && r.Kind == RefStoreNT {
+				out[i] = DRAM
+				continue
+			}
+		}
+		curLine = line
+
+		set := int(line & setMask)
+		want := r.Addr>>tagShift<<cache.MetaTagShift | cache.MetaValid
+		base := set * ways
+		slot := line & 15
+		idx := -1
+		if slotLine[slot] == line && meta[slotIdx[slot]]&^cache.MetaDirty == want {
+			idx = int(slotIdx[slot])
+		} else {
+			for w := reserved; w < ways; w++ {
+				if meta[base+w]&^cache.MetaDirty == want {
+					idx = base + w
+					slotLine[slot] = line
+					slotIdx[slot] = int32(idx)
+					break
+				}
+			}
+		}
+		if idx >= 0 {
+			// L1 hit (a set holds at most one valid copy of a tag, so the
+			// slot-verified way is the way the scalar find would return).
+			l1Idx = idx
+			if r.Kind != RefLoad {
+				meta[idx] |= cache.MetaDirty
+			}
+			bit := uint16(1) << uint(idx-base)
+			m := plru[set] | bit
+			if m == full {
+				m = bit
+			}
+			plru[set] = m
+			hits++
+			state = brL1
+			out[i] = L1
+			continue
+		}
+
+		// L1 miss (the inline probe is find() minus the MRU-filter
+		// shortcut, which re-verifies the metadata word, so the scalar
+		// path reaches the same verdict): hand off to the scalar miss
+		// machinery — fill cascade, stream prefetcher, writeback
+		// accounting — skipping only the L1 probe already performed.
+		if r.Kind == RefStoreNT {
+			lvl := h.StoreNTL1Missed(r.Addr)
+			if lvl == DRAM {
+				state = brWC // line sits in an open write-combining entry
+			} else {
+				state = brNone // resident at L2/LLC: no replayable fast path
+			}
+			out[i] = lvl
+			continue
+		}
+		out[i] = h.AccessL1Missed(r.Addr, r.Kind == RefStore)
+		// The demand fill left the line L1-resident; the cache's MRU
+		// filter identifies exactly where.
+		s, w := h.L1c.LastTouched()
+		l1Idx = s*ways + w
+		slotLine[slot] = line
+		slotIdx[slot] = int32(l1Idx)
+		state = brL1
+	}
+	h.L1c.AddBatchHits(hits)
+	return out
+}
+
+// AccessL1Missed is the scalar demand path minus the L1 tag probe, for
+// batched callers whose inline probe already established the L1 miss.
+// Effects are identical to access() on a missing line: the L1 fill
+// (and victim writeback) happens first, then the prefetcher observes
+// the miss, then the walk continues down the hierarchy.
+func (h *Hierarchy) AccessL1Missed(addr uint64, write bool) Level {
+	if r := h.L1c.FillMiss(addr, write); r.WroteBack {
+		h.installWriteback(h.L2c, r.VictimAddr, LLC)
+	}
+	h.observeStream(addr)
+	line := addr >> cache.LineBits
+	slot := line & 63
+	want := addr>>h.l2TagShift<<cache.MetaTagShift | cache.MetaValid
+	if h.l2SlotLine[slot] == line && h.l2Meta[h.l2SlotIdx[slot]]&^cache.MetaDirty == want {
+		// Slot-verified L2 residency: apply Access's hit path directly,
+		// skipping the way scan it would perform to find this line.
+		set := int(line & h.l2SetMask)
+		h.L2c.AccessHitAt(set, int(h.l2SlotIdx[slot])-set*h.l2Ways, false)
+		return L1fillFrom(L2)
+	}
+	if r := h.L2c.Access(addr, false); r.Hit {
+		s, w := h.L2c.LastTouched()
+		h.l2SlotLine[slot] = line
+		h.l2SlotIdx[slot] = int32(s*h.l2Ways + w)
+		return L1fillFrom(L2)
+	} else if r.WroteBack {
+		h.installWriteback(h.LLCc, r.VictimAddr, DRAM)
+	}
+	if r := h.LLCc.Access(addr, false); r.Hit {
+		return L1fillFrom(LLC)
+	} else if r.WroteBack {
+		h.DRAMTraffic.WriteLines++
+	}
+	h.DRAMTraffic.ReadLines++
+	return DRAM
+}
+
+// StoreNTL1Missed is StoreNT minus the L1 probe (which, on a miss, has
+// no side effects at all).
+func (h *Hierarchy) StoreNTL1Missed(addr uint64) Level {
+	if r := h.L2c.WriteNT(addr); r.Hit {
+		return L2
+	}
+	if r := h.LLCc.WriteNT(addr); r.Hit {
+		return LLC
+	}
+	h.writeCombine(addr)
+	return DRAM
 }
 
 // MissSummary returns per-level demand misses for reporting.

@@ -22,11 +22,25 @@ import (
 type Arch struct {
 	Mem mem.Config
 	CPU cpu.Config
+
+	// scalarRefs forces runs built from this Arch through the scalar
+	// per-reference oracle path instead of the batched pipeline. Both
+	// paths must produce bit-identical Metrics; the differential tests
+	// exercise this knob.
+	scalarRefs bool
 }
 
 // DefaultArch mirrors Table II.
 func DefaultArch() Arch {
 	return Arch{Mem: mem.DefaultConfig(), CPU: cpu.DefaultConfig()}
+}
+
+// WithScalarRefs returns a copy of a whose machines execute every
+// micro-op immediately through the scalar Core methods (the oracle the
+// batched pipeline is verified against).
+func (a Arch) WithScalarRefs() Arch {
+	a.scalarRefs = true
+	return a
 }
 
 // Region is an allocated block of simulated address space.
@@ -41,9 +55,15 @@ func (r Region) Addr(off uint64) uint64 {
 }
 
 // Mach is one simulated machine instance for one run.
+//
+// Hot loops emit micro-ops through B, the batched op pipeline; direct
+// CPU/H access remains for code that needs the clock or hierarchy
+// state mid-stream (the COBRA binning loop, phase bookkeeping) — any
+// such access must be preceded by B.Flush().
 type Mach struct {
 	CPU *cpu.Core
 	H   *mem.Hierarchy
+	B   *cpu.OpBuf
 
 	next uint64
 }
@@ -51,7 +71,12 @@ type Mach struct {
 // NewMach builds a fresh machine.
 func NewMach(a Arch) *Mach {
 	h := mem.New(a.Mem)
-	return &Mach{CPU: cpu.New(a.CPU, h), H: h, next: 1 << 20}
+	c := cpu.New(a.CPU, h)
+	b := cpu.NewOpBuf(c)
+	if a.scalarRefs {
+		b = cpu.NewOpBufDirect(c)
+	}
+	return &Mach{CPU: c, H: h, B: b, next: 1 << 20}
 }
 
 // Alloc reserves a page-aligned region of simulated address space.
@@ -245,12 +270,13 @@ func RunBaseline(app *App, arch Arch) (Metrics, error) {
 	met := Metrics{App: app.Name, Input: app.InputName, Scheme: SchemeBaseline}
 	i := 0
 	app.ForEach(func(key uint32, val uint64, newGroup bool) {
-		mach.CPU.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
-		mach.CPU.Branch(pcInnerLoop, !newGroup)
-		mach.CPU.ALU(1 + app.ApplyALU) // address math + apply work
+		mach.B.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
+		mach.B.Branch(pcInnerLoop, !newGroup)
+		mach.B.ALU(1 + app.ApplyALU) // address math + apply work
 		applier.Apply(key, val)
 		i++
 	})
+	mach.B.Flush()
 	mach.CPU.DrainMem()
 	met.finish(mach)
 	met.AccumCycles = met.Cycles // the whole run is "apply"
@@ -299,20 +325,21 @@ func planPB(mach *Mach, app *App, numBins int) pbLayout {
 func runInitCount(mach *Mach, app *App, input Region, cntRegion Region, shift uint, numBins int) {
 	i := 0
 	app.ForEach(func(key uint32, val uint64, newGroup bool) {
-		mach.CPU.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
-		mach.CPU.Branch(pcInnerLoop, !newGroup)
-		mach.CPU.ALU(2) // shift + address math
+		mach.B.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
+		mach.B.Branch(pcInnerLoop, !newGroup)
+		mach.B.ALU(2) // shift + address math
 		addr := cntRegion.Addr(uint64(key>>shift) * 4)
-		mach.CPU.Load(addr)
-		mach.CPU.Store(addr)
+		mach.B.Load(addr)
+		mach.B.Store(addr)
 		i++
 	})
 	// Prefix sum over bin counts.
 	for b := 0; b < numBins; b++ {
-		mach.CPU.Load(cntRegion.Addr(uint64(b) * 4))
-		mach.CPU.ALU(2)
-		mach.CPU.Store(cntRegion.Addr(uint64(b) * 4))
+		mach.B.Load(cntRegion.Addr(uint64(b) * 4))
+		mach.B.ALU(2)
+		mach.B.Store(cntRegion.Addr(uint64(b) * 4))
 	}
+	mach.B.Flush()
 	mach.CPU.DrainMem()
 }
 
@@ -343,54 +370,57 @@ func RunPBSW(app *App, numBins int, arch Arch) (Metrics, error) {
 	binStartCyc := mach.CPU.Cycles()
 	binStartCtr := mach.CPU.Ctr
 	binStartMem := memSnap(mach)
-	bins := make([][]core.Tuple, lay.numBins)
-	fill := make([]int, lay.numBins)   // tuples in each software C-Buffer
-	binPos := make([]int, lay.numBins) // write cursor into each memory bin
+	scratch := getBinScratch(lay.numBins)
+	defer putBinScratch(scratch)
+	bins := scratch.bins     // materialized software bins
+	fill := scratch.fill     // tuples in each software C-Buffer
+	binPos := scratch.binPos // write cursor into each memory bin
 	i := 0
 	app.ForEach(func(key uint32, val uint64, newGroup bool) {
-		mach.CPU.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
-		mach.CPU.Branch(pcInnerLoop, !newGroup)
+		mach.B.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
+		mach.B.Branch(pcInnerLoop, !newGroup)
 		i++
 		b := int(key >> lay.shift)
-		mach.CPU.ALU(2) // shift + C-Buffer address math
+		mach.B.ALU(2) // shift + C-Buffer address math
 		// Read-modify-write the C-Buffer fill counter, store the tuple.
 		cntAddr := lay.cnt.Addr(uint64(b) * 4)
-		mach.CPU.Load(cntAddr)
-		mach.CPU.Store(lay.cbuf.Addr(uint64(b)*64 + uint64(fill[b])*uint64(app.TupleBytes)))
-		mach.CPU.ALU(1)
-		mach.CPU.Store(cntAddr)
+		mach.B.Load(cntAddr)
+		mach.B.Store(lay.cbuf.Addr(uint64(b)*64 + uint64(fill[b])*uint64(app.TupleBytes)))
+		mach.B.ALU(1)
+		mach.B.Store(cntAddr)
 		fill[b]++
 		full := fill[b] == lay.tuplesPL
-		mach.CPU.Branch(pcCBufFull, !full)
+		mach.B.Branch(pcCBufFull, !full)
 		if full {
 			// Bulk transfer: non-temporal stores of the C-Buffer's tuples
 			// into the in-memory bin at this bin's cursor.
 			posAddr := lay.binPos.Addr(uint64(b) * 4)
-			mach.CPU.Load(posAddr)
+			mach.B.Load(posAddr)
 			for k := 0; k < lay.tuplesPL; k++ {
 				off := uint64(binPos[b]+k) * uint64(app.TupleBytes)
-				mach.CPU.StoreNT(lay.bins.Addr(off))
-				mach.CPU.ALU(1)
+				mach.B.StoreNT(lay.bins.Addr(off))
+				mach.B.ALU(1)
 			}
 			binPos[b] += lay.tuplesPL
-			mach.CPU.ALU(1)
-			mach.CPU.Store(posAddr)
+			mach.B.ALU(1)
+			mach.B.Store(posAddr)
 			fill[b] = 0
 		}
 		bins[b] = append(bins[b], core.Tuple{Key: key, Val: val})
 	})
 	// Flush partial C-Buffers (software epilogue).
 	for b := 0; b < lay.numBins; b++ {
-		mach.CPU.Load(lay.cnt.Addr(uint64(b) * 4))
-		mach.CPU.Branch(pcCBufFull, fill[b] == 0)
+		mach.B.Load(lay.cnt.Addr(uint64(b) * 4))
+		mach.B.Branch(pcCBufFull, fill[b] == 0)
 		for k := 0; k < fill[b]; k++ {
 			off := uint64(binPos[b]+k) * uint64(app.TupleBytes)
-			mach.CPU.StoreNT(lay.bins.Addr(off))
-			mach.CPU.ALU(1)
+			mach.B.StoreNT(lay.bins.Addr(off))
+			mach.B.ALU(1)
 		}
 		binPos[b] += fill[b]
 		fill[b] = 0
 	}
+	mach.B.Flush()
 	mach.CPU.DrainMem()
 	binT.Stop()
 	met.BinCycles = mach.CPU.Cycles() - binStartCyc
@@ -419,17 +449,18 @@ func runAccumulate(mach *Mach, app *App, applier Applier, bins [][]core.Tuple, b
 	pos := 0
 	for b := range bins {
 		// Per-bin loop prologue: offsets lookup + loop setup.
-		mach.CPU.ALU(6)
-		mach.CPU.Load(binRegion.Addr(uint64(pos) * uint64(app.TupleBytes)))
-		mach.CPU.Branch(pcBinLoop, len(bins[b]) != 0)
+		mach.B.ALU(6)
+		mach.B.Load(binRegion.Addr(uint64(pos) * uint64(app.TupleBytes)))
+		mach.B.Branch(pcBinLoop, len(bins[b]) != 0)
 		for _, t := range bins[b] {
-			mach.CPU.Load(binRegion.Addr(uint64(pos) * uint64(app.TupleBytes)))
-			mach.CPU.Branch(pcBinLoop, true)
-			mach.CPU.ALU(1 + app.ApplyALU)
+			mach.B.Load(binRegion.Addr(uint64(pos) * uint64(app.TupleBytes)))
+			mach.B.Branch(pcBinLoop, true)
+			mach.B.ALU(1 + app.ApplyALU)
 			applier.Apply(t.Key, t.Val)
 			pos++
 		}
 	}
+	mach.B.Flush()
 	mach.CPU.DrainMem()
 }
 
@@ -521,6 +552,10 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 	met.NumBins = m.NumBins()
 
 	// ---- Binning: one binupdate per tuple ----
+	// This loop stays on the scalar CPU methods deliberately: the COBRA
+	// eviction-FIFO model inside m.BinUpdate reads the live cycle clock
+	// (queueing delays, context-switch quanta), so its micro-ops cannot
+	// be deferred behind a batch. See DESIGN §7.
 	binT := ro.phase("binning.wall")
 	binStartCyc := mach.CPU.Cycles()
 	binStartCtr := mach.CPU.Ctr
@@ -574,17 +609,25 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 // bins (the "medium number of LLC C-Buffers" variant for PINV, §VII-A).
 func regroupBins(bins [][]core.Tuple, maxBins int) [][]core.Tuple {
 	group := (len(bins) + maxBins - 1) / maxBins
+	total := 0
+	for _, b := range bins {
+		total += len(b)
+	}
+	// One flat backing array for all merged bins (instead of per-bin
+	// append-grown slices); each coarse bin is a capacity-clipped window
+	// so later appends by callers could never bleed across bins.
+	flat := make([]core.Tuple, 0, total)
 	out := make([][]core.Tuple, 0, maxBins)
 	for lo := 0; lo < len(bins); lo += group {
 		hi := lo + group
 		if hi > len(bins) {
 			hi = len(bins)
 		}
-		var merged []core.Tuple
+		start := len(flat)
 		for _, b := range bins[lo:hi] {
-			merged = append(merged, b...)
+			flat = append(flat, b...)
 		}
-		out = append(out, merged)
+		out = append(out, flat[start:len(flat):len(flat)])
 	}
 	return out
 }
@@ -619,12 +662,13 @@ func RunPHI(app *App, numBins int, arch Arch) (Metrics, error) {
 	binStartMem := memSnap(mach)
 	i := 0
 	app.ForEach(func(key uint32, val uint64, newGroup bool) {
-		mach.CPU.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
-		mach.CPU.Branch(pcInnerLoop, !newGroup)
-		mach.CPU.BinUpdate() // PHI also uses a single update instruction
-		model.Update(key, val)
+		mach.B.Load(input.Addr(uint64(i) * uint64(app.StreamBytes)))
+		mach.B.Branch(pcInnerLoop, !newGroup)
+		mach.B.BinUpdate()     // PHI also uses a single update instruction
+		model.Update(key, val) // pure functional model: no machine state read
 		i++
 	})
+	mach.B.Flush()
 	model.Flush()
 	mach.H.WriteLineDirect((model.St.MemBytes + 63) / 64)
 	mach.CPU.DrainMem()
