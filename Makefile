@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke
+.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke chaos-smoke
 
 all: ci
 
@@ -22,11 +22,13 @@ test:
 # Race-mode pass over the packages that actually spawn goroutines or
 # share state across them (obsv: lock-free counters/histograms, the
 # progress renderer goroutine, and the concurrent event log; srv: the
-# worker pool, single-flight result cache, and drain-under-load tests).
+# worker pool, single-flight result cache, drain-under-load and
+# faulted-load tests; fault: the lock-free injection registry under
+# concurrent hits; client: retry/breaker state across goroutines).
 # (-timeout 30m: exp's race pass alone runs >10m on a 2-core box, past
 # go test's default per-binary timeout.)
 race:
-	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv
+	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.
@@ -50,7 +52,15 @@ coverage:
 serve-smoke:
 	$(GO) test -run '^TestServeSmoke$$' -v ./cmd/cobrad
 
-ci: vet build race coverage fuzz-smoke serve-smoke bench-compare
+# Crash-recovery chaos: re-executes the figures and cobrad test
+# binaries as real processes under COBRA_FAULTS schedules that SIGKILL
+# them at exact journal appends (optionally after tearing the write),
+# then asserts byte-identical resume, a restart-surviving result
+# cache, and the slowloris read-header-timeout disconnect.
+chaos-smoke:
+	$(GO) test -run 'TestChaos|TestSlowloris' -v ./cmd/figures ./cmd/cobrad
+
+ci: vet build race coverage fuzz-smoke serve-smoke chaos-smoke bench-compare
 
 # Hot-path microbenchmarks (packed cache metadata; scalar-vs-batched
 # hierarchy pipeline; PB binning).

@@ -1,0 +1,203 @@
+// Command cobractl is the cobrad control CLI, built on the resilient
+// internal/client: every call retries transient failures with jittered
+// backoff, honors Retry-After backpressure, and trips a circuit
+// breaker instead of hammering a dead server.
+//
+// Usage:
+//
+//	cobractl -addr http://127.0.0.1:8372 health
+//	cobractl submit -app PageRank -input URAND -schemes Baseline,PB-SW
+//	cobractl get j-000001
+//	cobractl wait j-000001
+//	cobractl run -app PageRank -input URAND -schemes COBRA   # submit + wait + resubmit-on-loss
+//
+// run survives a cobrad restart mid-job: a vanished job id (the
+// server's job table is in-memory) is resubmitted, and the server's
+// fingerprint-keyed result cache makes the resubmission replay already
+// computed cells instead of re-simulating them.
+//
+// Exit codes: 0 job done / healthy; 1 job failed or transport gave up;
+// 2 usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cobra/internal/client"
+	"cobra/internal/srv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the CLI behind a testable seam: argv in, exit code out.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cobractl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8372", "cobrad base URL")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall deadline for the command")
+		retries = fs.Int("retries", 4, "per-request retry budget for transient failures")
+		poll    = fs.Duration("poll", 250*time.Millisecond, "job status poll interval for wait/run")
+		jsonOut = fs.Bool("json", false, "print the raw job JSON instead of a summary")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cobractl [flags] <health|submit|get|wait|run> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	c := client.New(*addr, client.Options{
+		MaxRetries:   *retries,
+		PollInterval: *poll,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch cmd {
+	case "health":
+		if err := c.Health(ctx); err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "ok")
+		return 0
+
+	case "submit":
+		spec, code := parseSpec(rest, stderr)
+		if code != 0 {
+			return code
+		}
+		v, err := c.Submit(ctx, spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		return printJob(stdout, v, *jsonOut)
+
+	case "get", "wait":
+		if len(rest) != 1 {
+			fmt.Fprintf(stderr, "cobractl: %s needs exactly one job id\n", cmd)
+			return 2
+		}
+		var (
+			v   srv.JobView
+			err error
+		)
+		if cmd == "get" {
+			v, err = c.Get(ctx, rest[0])
+		} else {
+			v, err = c.Wait(ctx, rest[0])
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		return printJob(stdout, v, *jsonOut)
+
+	case "run":
+		spec, code := parseSpec(rest, stderr)
+		if code != 0 {
+			return code
+		}
+		v, err := c.Run(ctx, spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		return printJob(stdout, v, *jsonOut)
+
+	default:
+		fmt.Fprintf(stderr, "cobractl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+}
+
+// parseSpec parses the job-spec flags shared by submit and run.
+func parseSpec(args []string, stderr io.Writer) (srv.JobSpec, int) {
+	fs := flag.NewFlagSet("cobractl job", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app     = fs.String("app", "", "application (required)")
+		input   = fs.String("input", "", "input distribution (required)")
+		scale   = fs.Int("scale", 0, "input scale (0 = server default)")
+		seed    = fs.Uint64("seed", 42, "generator seed")
+		schemes = fs.String("schemes", "", "comma-separated scheme list (required)")
+		bins    = fs.Int("bins", 0, "bin count (0 = sweep)")
+		nuca    = fs.Bool("nuca", false, "enable the NUCA latency model")
+		jobTO   = fs.Duration("job-timeout", 0, "per-job wall-clock budget (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return srv.JobSpec{}, 2
+	}
+	if *app == "" || *input == "" || *schemes == "" {
+		fmt.Fprintln(stderr, "cobractl: -app, -input and -schemes are required")
+		return srv.JobSpec{}, 2
+	}
+	var list []string
+	for _, s := range strings.Split(*schemes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			list = append(list, s)
+		}
+	}
+	return srv.JobSpec{
+		App:       *app,
+		Input:     *input,
+		Scale:     *scale,
+		Seed:      *seed,
+		Schemes:   list,
+		Bins:      *bins,
+		NUCA:      *nuca,
+		TimeoutMS: jobTO.Milliseconds(),
+	}, 0
+}
+
+// printJob renders one job view: full JSON with -json, otherwise a
+// compact human summary. Exit code mirrors the job's fate so scripts
+// can chain on it.
+func printJob(stdout io.Writer, v srv.JobView, asJSON bool) int {
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	} else {
+		fmt.Fprintf(stdout, "%s\t%s", v.ID, v.State)
+		if v.State == srv.JobDone {
+			fmt.Fprintf(stdout, "\tcache_hits=%d cache_misses=%d", v.CacheHits, v.CacheMisses)
+			for i, m := range v.Results {
+				fmt.Fprintf(stdout, "\n  %s\tcycles=%.0f", v.Spec.Schemes[i], m.Cycles)
+			}
+		}
+		if v.Error != "" {
+			fmt.Fprintf(stdout, "\terror=%s", v.Error)
+		}
+		fmt.Fprintln(stdout)
+	}
+	switch v.State {
+	case srv.JobFailed, srv.JobCanceled:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+// cobractl end-to-end tests against an in-process cobrad (srv.Server
+// behind httptest): the CLI seam run() drives the same client code the
+// installed binary uses.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cobra/internal/fault"
+	"cobra/internal/srv"
+)
+
+// startServer runs a small in-process cobrad and returns its base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	server, err := srv.New(srv.Config{Workers: 2, QueueDepth: 16, DefaultScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Start()
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func runCtl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestHealth(t *testing.T) {
+	url := startServer(t)
+	code, out, errOut := runCtl(t, "-addr", url, "health")
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("health: code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	url := startServer(t)
+	code, out, errOut := runCtl(t, "-addr", url, "run",
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline,COBRA")
+	if code != 0 {
+		t.Fatalf("run: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "done") || !strings.Contains(out, "Baseline") || !strings.Contains(out, "COBRA") {
+		t.Fatalf("summary missing scheme results: %q", out)
+	}
+
+	// Same spec again: every cell replays from the server's cache.
+	code, out, _ = runCtl(t, "-addr", url, "-json", "run",
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline,COBRA")
+	if code != 0 {
+		t.Fatalf("cached rerun failed: %q", out)
+	}
+	if !strings.Contains(out, `"cache_hits": 2`) {
+		t.Fatalf("rerun did not hit the cache: %q", out)
+	}
+}
+
+func TestSubmitGetWait(t *testing.T) {
+	url := startServer(t)
+	code, out, errOut := runCtl(t, "-addr", url, "submit",
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline")
+	if code != 0 {
+		t.Fatalf("submit: code=%d err=%q", code, errOut)
+	}
+	id := strings.Fields(out)[0]
+	if !strings.HasPrefix(id, "j-") {
+		t.Fatalf("no job id in %q", out)
+	}
+	code, out, errOut = runCtl(t, "-addr", url, "-poll", "5ms", "wait", id)
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("wait: code=%d out=%q err=%q", code, out, errOut)
+	}
+	code, out, _ = runCtl(t, "-addr", url, "get", id)
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("get after done: code=%d out=%q", code, out)
+	}
+}
+
+func TestInvalidSpecPermanent(t *testing.T) {
+	url := startServer(t)
+	code, _, errOut := runCtl(t, "-addr", url, "submit",
+		"-app", "NoSuchApp", "-input", "URND", "-schemes", "Baseline")
+	if code != 1 {
+		t.Fatalf("invalid app: code=%d", code)
+	}
+	if !strings.Contains(errOut, "permanent") {
+		t.Fatalf("rejection not classified permanent: %q", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCtl(t); code != 2 {
+		t.Fatal("no command accepted")
+	}
+	if code, _, _ := runCtl(t, "bogus"); code != 2 {
+		t.Fatal("unknown command accepted")
+	}
+	if code, _, _ := runCtl(t, "submit", "-app", "X"); code != 2 {
+		t.Fatal("incomplete spec accepted")
+	}
+	if code, _, _ := runCtl(t, "wait"); code != 2 {
+		t.Fatal("wait without id accepted")
+	}
+}
+
+func TestJobFailureExitCode(t *testing.T) {
+	url := startServer(t)
+	// Every worker completion fails via the injection point: the job
+	// lands failed, Run's resubmissions fail the same way, and the CLI
+	// reports exit 1.
+	plan, err := fault.Parse("srv.worker.complete:every=1:err=eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(plan)
+	defer fault.Deactivate()
+	code, _, errOut := runCtl(t, "-addr", url, "-poll", "5ms", "run",
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline")
+	if code != 1 {
+		t.Fatalf("failed job: code=%d err=%q", code, errOut)
+	}
+	if !strings.Contains(errOut, "failed") {
+		t.Fatalf("stderr does not name the failed job: %q", errOut)
+	}
+}

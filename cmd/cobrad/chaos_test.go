@@ -1,0 +1,192 @@
+package main
+
+// Service chaos: SIGKILL a real cobrad at a fault-scheduled journal
+// append and prove the result cache survives the crash — the restarted
+// daemon serves the pre-crash results as cache hits, the journal never
+// contains an error entry, and at most its tail is torn. Plus the
+// slowloris regression for the hardened http.Server.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cobra/internal/client"
+	"cobra/internal/srv"
+)
+
+// TestChaosCacheSurvivesKill: daemon A computes one job (2 cells → 2
+// fsync'd journal appends), then dies by SIGKILL at its 3rd append,
+// mid-way through a second job. Daemon B restarts on the same journal
+// and must serve the first job's results entirely from cache.
+func TestChaosCacheSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos test")
+	}
+	cachePath := filepath.Join(t.TempDir(), "cache.jsonl")
+	args := "-workers 1 -queue 8 -max-scale 12 -cache " + cachePath
+
+	cmdA, baseA := spawnDaemon(t, args,
+		"COBRA_FAULTS=exp.journal.append:at=3:err=short:kill")
+
+	// The resilient client drives the whole exchange.
+	cl := client.New(baseA, client.Options{PollInterval: 20 * time.Millisecond})
+	ctx := t.Context()
+
+	specA := srv.JobSpec{App: "DegreeCount", Input: "URND", Scale: 10, Seed: 7,
+		Schemes: []string{"Baseline", "COBRA"}, Bins: 16}
+	vA, err := cl.Run(ctx, specA)
+	if err != nil {
+		t.Fatalf("job A before crash: %v", err)
+	}
+	if vA.State != srv.JobDone || vA.CacheMisses != 2 {
+		t.Fatalf("job A view: %+v", vA)
+	}
+
+	// Job B's first cell lands on journal append #3: torn write, then
+	// SIGKILL. The HTTP call fails however the connection dies.
+	specB := specA
+	specB.Seed = 8
+	if _, err := cl.Submit(ctx, specB); err != nil {
+		t.Logf("submit during crash (expected to fail): %v", err)
+	}
+	err = cmdA.Wait()
+	if err == nil {
+		t.Fatal("daemon A survived its kill schedule")
+	}
+	ws, ok := cmdA.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("daemon A died of %v, want SIGKILL", err)
+	}
+
+	// The journal on disk: 2 complete entries plus a physically torn
+	// tail — and not a single error was cached.
+	checkJournalEntries(t, cachePath, 2)
+
+	// Daemon B resumes the journal, no faults armed.
+	cmdB, baseB := spawnDaemon(t, args)
+	clB := client.New(baseB, client.Options{PollInterval: 20 * time.Millisecond})
+	vB, err := clB.Run(ctx, specA)
+	if err != nil {
+		t.Fatalf("job A after restart: %v", err)
+	}
+	if vB.State != srv.JobDone || vB.CacheHits != 2 || vB.CacheMisses != 0 {
+		t.Fatalf("restarted daemon did not serve from cache: %+v", vB)
+	}
+	// Byte-identical across the crash: the replayed metrics equal the
+	// originals exactly.
+	got, _ := json.Marshal(vB.Results)
+	want, _ := json.Marshal(vA.Results)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cached results diverged across restart:\n got %s\nwant %s", got, want)
+	}
+
+	// The interrupted job B runs cleanly now.
+	if vB, err = clB.Run(ctx, specB); err != nil || vB.State != srv.JobDone {
+		t.Fatalf("job B after restart: %+v %v", vB, err)
+	}
+
+	// Graceful exit for daemon B.
+	if err := cmdB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdB.Wait(); err != nil {
+		t.Fatalf("daemon B exited non-zero: %v", err)
+	}
+}
+
+// checkJournalEntries asserts the cache journal holds exactly want
+// complete well-formed {k,m} lines (errors are never cached, so no
+// entry may carry an error field) and tolerates only a torn tail.
+func checkJournalEntries(t *testing.T, path string, want int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	tornTail := len(raw) > 0 && raw[len(raw)-1] != '\n'
+	for i, line := range lines {
+		var e map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			if tornTail && i == len(lines)-1 {
+				continue // the torn tail, not an entry
+			}
+			t.Fatalf("journal line %d damaged beyond the tail: %q", i+1, line)
+		}
+		if _, ok := e["k"]; !ok {
+			t.Fatalf("journal line %d missing key: %q", i+1, line)
+		}
+		if _, ok := e["error"]; ok {
+			t.Fatalf("an error was cached: %q", line)
+		}
+		complete++
+	}
+	if complete != want {
+		t.Fatalf("journal holds %d complete entries, want %d (torn tail: %v)", complete, want, tornTail)
+	}
+	if !tornTail {
+		t.Fatal("expected a torn tail from the short-write kill")
+	}
+}
+
+// TestSlowloris: a client that opens a connection and trickles header
+// bytes is disconnected by ReadHeaderTimeout instead of holding the
+// connection open indefinitely.
+func TestSlowloris(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos test")
+	}
+	_, base := spawnDaemon(t, "-workers 1 -read-header-timeout 300ms")
+	addr := strings.TrimPrefix(base, "http://")
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Partial request line, then silence — the classic slowloris hold.
+	if _, err := fmt.Fprintf(conn, "GET /healthz HT"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	// The server may write a 408 before closing; read to EOF either way.
+	all, err := io.ReadAll(conn)
+	elapsed := time.Since(start)
+	if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatalf("server held the slowloris connection past %v", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("connection closed only after %v, want ~read-header-timeout", elapsed)
+	}
+	if len(all) > 0 && !bytes.Contains(all, []byte("408")) && !bytes.Contains(all, []byte("400")) {
+		t.Fatalf("unexpected response to a half-written request line: %q", all)
+	}
+
+	// The server is still healthy for well-behaved clients.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after slowloris = %d", resp.StatusCode)
+	}
+}

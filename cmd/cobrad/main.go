@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"cobra/internal/fault"
 	"cobra/internal/fsx"
 	"cobra/internal/obsv"
 	"cobra/internal/srv"
@@ -62,12 +63,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job wall-clock budget")
 		maxTimeout   = fs.Duration("max-job-timeout", 30*time.Minute, "largest per-job timeout a job may request")
 		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "how long graceful shutdown waits for in-flight jobs")
+		readHdrTO    = fs.Duration("read-header-timeout", 5*time.Second, "per-connection header read deadline (slowloris defense)")
+		readTO       = fs.Duration("read-timeout", 30*time.Second, "per-request body read deadline")
+		idleTO       = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "cobrad: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	// Fault injection (COBRA_FAULTS / COBRA_FAULT_SEED) activates before
+	// the cache journal opens so the chaos harness can schedule crashes
+	// at any journal append or admission.
+	if _, err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintln(stderr, "cobrad:", err)
 		return 2
 	}
 
@@ -113,7 +125,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	server.Start()
-	httpSrv := &http.Server{Handler: server.Handler()}
+	// Hardened listener: a client that trickles header bytes (slowloris)
+	// or never sends its body is cut off instead of pinning a connection
+	// forever. Long sync /v1/run waits survive ReadTimeout because the
+	// handler clears the read deadline once the body is fully decoded.
+	httpSrv := &http.Server{
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+	}
 	fmt.Fprintf(stderr, "cobrad: listening on %s (workers=%d queue=%d scale<=%d)\n",
 		bound, *workers, *queueDepth, *maxScale)
 

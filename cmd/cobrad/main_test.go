@@ -41,14 +41,16 @@ func TestMain(m *testing.M) {
 }
 
 // spawnDaemon re-executes the test binary as a cobrad child and
-// returns the command plus its base URL once the listener is up.
-func spawnDaemon(t *testing.T, extraArgs string) (*exec.Cmd, string) {
+// returns the command plus its base URL once the listener is up. Extra
+// environment entries (e.g. a COBRA_FAULTS schedule) ride along.
+func spawnDaemon(t *testing.T, extraArgs string, extraEnv ...string) (*exec.Cmd, string) {
 	t.Helper()
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
 	args := "-addr 127.0.0.1:0 -addrfile " + addrFile + " " + extraArgs
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), "COBRAD_SMOKE_CHILD=1", "COBRAD_SMOKE_ARGS="+args)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	if err := cmd.Start(); err != nil {

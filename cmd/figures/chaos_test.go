@@ -1,0 +1,210 @@
+package main
+
+// Crash-recovery chaos harness: re-execute this test binary as a real
+// figures process with a COBRA_FAULTS schedule that SIGKILLs it at an
+// exact checkpoint-journal append, then resume in-process and demand
+// byte-identical output. This is the tentpole's acceptance test — not
+// a simulated crash (context cancel) but a real process dying with a
+// real half-written file on disk.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"cobra/internal/exp"
+)
+
+// TestMain lets the test binary impersonate the figures CLI when
+// re-executed with FIGURES_CHAOS_CHILD set; the COBRA_FAULTS schedule
+// in the child's environment arms the crash.
+func TestMain(m *testing.M) {
+	if os.Getenv("FIGURES_CHAOS_CHILD") == "1" {
+		os.Exit(run(strings.Fields(os.Getenv("FIGURES_CHAOS_ARGS")), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// crashCampaign re-executes the test binary as a figures child with the
+// given fault schedule and waits for it to die by SIGKILL.
+func crashCampaign(t *testing.T, args, faults string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"FIGURES_CHAOS_CHILD=1",
+		"FIGURES_CHAOS_ARGS="+args,
+		"COBRA_FAULTS="+faults,
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatalf("child survived its fault schedule %q; stderr:\n%s", faults, stderr.String())
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child died of %v, want SIGKILL; stderr:\n%s", err, stderr.String())
+	}
+}
+
+// TestChaosCrashMidCampaignResumesByteIdentical: SIGKILL the campaign
+// at its 3rd checkpoint append; the journal must hold exactly the 2
+// durable cells, no artifact may exist, and a -resume run must produce
+// output byte-identical to an uninterrupted campaign.
+func TestChaosCrashMidCampaignResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos test")
+	}
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.txt")
+	out := filepath.Join(dir, "out.txt")
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	// Uninterrupted reference, in-process.
+	code, _, stderr := runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none", "-o", golden)
+	if code != 0 {
+		t.Fatalf("golden run: exit %d\n%s", code, stderr)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: a real process SIGKILLed at the instant of its 3rd journal
+	// append — after 2 cells became durable.
+	crashCampaign(t,
+		"-fig 10 -scale 12 -parallel 1 -manifest none -checkpoint "+ckpt+" -o "+out,
+		"exp.journal.append:at=3:kill")
+
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("killed campaign published an artifact: %v", err)
+	}
+	j, err := exp.OpenJournal(ckpt, true)
+	if err != nil {
+		t.Fatalf("journal unreadable after SIGKILL: %v", err)
+	}
+	got := j.Len()
+	j.Close()
+	if got != 2 {
+		t.Fatalf("journal holds %d cells after kill-at-append-3, want 2", got)
+	}
+
+	// Resume in-process: replay the 2 durable cells, simulate the rest,
+	// and match the uninterrupted bytes exactly.
+	code, _, stderr = runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none",
+		"-checkpoint", ckpt, "-resume", "-o", out)
+	if code != 0 {
+		t.Fatalf("resume run: exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resuming") {
+		t.Fatalf("resume did not report replay:\n%s", stderr)
+	}
+	gotBytes, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gotBytes) {
+		t.Fatalf("resumed artifact differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, gotBytes)
+	}
+}
+
+// TestChaosTornWriteThenKillRecovers: the harder crash — the process
+// tears the append (half the line reaches the file) and THEN dies, so
+// recovery faces a genuinely torn tail. Resume must drop the tail,
+// keep the durable prefix, and still converge to identical bytes.
+func TestChaosTornWriteThenKillRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos test")
+	}
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.txt")
+	out := filepath.Join(dir, "out.txt")
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	code, _, stderr := runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none", "-o", golden)
+	if code != 0 {
+		t.Fatalf("golden run: exit %d\n%s", code, stderr)
+	}
+	want, _ := os.ReadFile(golden)
+
+	crashCampaign(t,
+		"-fig 10 -scale 12 -parallel 1 -manifest none -checkpoint "+ckpt+" -o "+out,
+		"exp.journal.append:at=2:err=short:kill")
+
+	// The tail is physically torn: the file must end mid-line.
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] == '\n' {
+		t.Fatalf("expected a torn tail, file ends cleanly (%d bytes)", len(raw))
+	}
+
+	j, err := exp.OpenJournal(ckpt, true)
+	if err != nil {
+		t.Fatalf("journal unreadable after torn-write kill: %v", err)
+	}
+	kept := j.Len()
+	j.Close()
+	if kept != 1 {
+		t.Fatalf("journal holds %d cells, want 1 durable before the torn append", kept)
+	}
+
+	code, _, stderr = runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none",
+		"-checkpoint", ckpt, "-resume", "-o", out)
+	if code != 0 {
+		t.Fatalf("resume after torn tail: exit %d\n%s", code, stderr)
+	}
+	gotBytes, _ := os.ReadFile(out)
+	if !bytes.Equal(want, gotBytes) {
+		t.Fatal("resume after torn-write crash diverged from uninterrupted output")
+	}
+}
+
+// TestChaosCompactionAfterCrash: -compact-checkpoint cleans the torn
+// journal a crash left behind, and the compacted journal still resumes
+// to identical bytes.
+func TestChaosCompactionAfterCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos test")
+	}
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.txt")
+	out := filepath.Join(dir, "out.txt")
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	code, _, stderr := runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none", "-o", golden)
+	if code != 0 {
+		t.Fatalf("golden run: exit %d\n%s", code, stderr)
+	}
+	want, _ := os.ReadFile(golden)
+
+	crashCampaign(t,
+		"-fig 10 -scale 12 -parallel 1 -manifest none -checkpoint "+ckpt+" -o "+out,
+		"exp.journal.append:at=3:err=short:kill")
+
+	code, _, stderr = runFigures(t, "-checkpoint", ckpt, "-compact-checkpoint")
+	if code != 0 {
+		t.Fatalf("compaction: exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "2 cells kept") || !strings.Contains(stderr, "1 stale lines dropped") {
+		t.Fatalf("compaction report unexpected:\n%s", stderr)
+	}
+
+	code, _, stderr = runFigures(t, "-fig", "10", "-scale", "12", "-parallel", "1", "-manifest", "none",
+		"-checkpoint", ckpt, "-resume", "-o", out)
+	if code != 0 {
+		t.Fatalf("resume from compacted journal: exit %d\n%s", code, stderr)
+	}
+	gotBytes, _ := os.ReadFile(out)
+	if !bytes.Equal(want, gotBytes) {
+		t.Fatal("resume from compacted journal diverged")
+	}
+}

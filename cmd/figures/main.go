@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"cobra/internal/exp"
+	"cobra/internal/fault"
 	"cobra/internal/fsx"
 	"cobra/internal/obsv"
 )
@@ -123,8 +124,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath   = fs.String("trace", "", "write a runtime execution trace to this file")
 		scalarRefs  = fs.Bool("scalarrefs", false, "drive simulations through the scalar per-reference oracle instead of the batched pipeline (byte-identical output, slower; for differential testing)")
+		compactCkpt = fs.Bool("compact-checkpoint", false, "compact the -checkpoint journal (drop superseded duplicates and torn tails), then exit")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	// Fault injection (COBRA_FAULTS / COBRA_FAULT_SEED) activates before
+	// any I/O so the chaos harness can schedule crashes from the very
+	// first journal append.
+	if _, err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintln(stderr, "figures:", err)
 		return 2
 	}
 
@@ -141,6 +151,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(stderr, "figures: -resume requires -checkpoint")
 		return 2
+	}
+
+	// -compact-checkpoint is a standalone maintenance action: rewrite
+	// the journal down to one line per cell and exit.
+	if *compactCkpt {
+		if *checkpoint == "" {
+			fmt.Fprintln(stderr, "figures: -compact-checkpoint requires -checkpoint")
+			return 2
+		}
+		kept, dropped, err := exp.CompactJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			if errors.Is(err, fsx.ErrDiskFull) {
+				return 3
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "figures: compacted %s: %d cells kept, %d stale lines dropped\n", *checkpoint, kept, dropped)
+		return 0
 	}
 
 	opts := exp.DefaultOpts()
@@ -415,6 +444,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stderr, msg)
 		return 130
+	case errors.Is(runErr, fsx.ErrDiskFull):
+		// Distinct exit code: operators (and the campaign runner) can
+		// tell "free disk space and resume" from a genuine failure.
+		fmt.Fprintf(stderr, "figures: disk full: %v\n", runErr)
+		return 3
 	default:
 		fmt.Fprintf(stderr, "figures: %v\n", runErr)
 		return 1

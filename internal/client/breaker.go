@@ -1,0 +1,85 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports a request refused locally because the breaker
+// tripped: the last N attempts all failed, so the client stops hammering
+// a struggling server until the cooldown elapses.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker. Closed it counts
+// failures; at threshold it opens and refuses requests for cooldown;
+// then it goes half-open, letting exactly one probe through — a probe
+// success closes the circuit, a probe failure re-opens it for another
+// full cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	openedAt    time.Time
+	probing     bool // half-open probe in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// allow reports whether a request may proceed. In the open state it
+// admits a single half-open probe once the cooldown has elapsed.
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if b.clock.Now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// success records a completed request (any response from the server,
+// including 4xx — the server being reachable and answering is what the
+// breaker measures).
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure records an availability failure (network error or 5xx).
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.probing {
+		// Failed half-open probe: back to open for a fresh cooldown.
+		b.probing = false
+		b.openedAt = b.clock.Now()
+		return
+	}
+	if b.consecutive >= b.threshold && !b.open {
+		b.open = true
+		b.openedAt = b.clock.Now()
+	}
+}

@@ -1,0 +1,371 @@
+// Package client is the resilient cobrad HTTP client: typed errors
+// that distinguish permanent rejections from retryable availability
+// failures, exponential backoff with full jitter, Retry-After
+// honoring, a consecutive-failure circuit breaker with half-open
+// probes, and idempotent job resubmission.
+//
+// Resubmission is safe because the server's result cache is
+// content-addressed by the exp.CellKey fingerprint of each (app,
+// input, scale, seed, scheme, bins, arch) cell: re-running a job whose
+// first submission was lost to a crash or timeout replays the cached
+// metrics byte-identically instead of recomputing them. The client
+// leans on that contract — Run resubmits on failed or vanished jobs —
+// and the chaos suite holds the server to it.
+//
+// All waiting goes through an injectable Clock, so the retry paths are
+// tested with a fake clock and zero wall-clock sleeps.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cobra/internal/srv"
+)
+
+// Options configures a Client. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// HTTP is the underlying transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Clock drives backoff and polling; nil uses the wall clock.
+	Clock Clock
+	// MaxRetries bounds retry attempts after the first try of one HTTP
+	// request (default 4; negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's maximum delay; each subsequent
+	// attempt doubles it up to MaxBackoff. The actual delay is drawn
+	// uniformly from [0, cap] ("full jitter"). Defaults 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter sequence deterministic for tests; 0 derives
+	// one from the clock at construction.
+	Seed uint64
+	// BreakerThreshold is the consecutive availability-failure count
+	// that opens the circuit (default 8; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before a
+	// half-open probe (default 10s).
+	BreakerCooldown time.Duration
+	// PollInterval spaces Wait's job-status polls (default 250ms).
+	PollInterval time.Duration
+	// Resubmits bounds Run's whole-job resubmissions after failed or
+	// vanished jobs (default 2; negative disables).
+	Resubmits int
+}
+
+// Error is the typed failure the client returns: which operation, the
+// HTTP status if a response arrived, how many retries were spent, and
+// whether retrying could ever help.
+type Error struct {
+	Op        string // "submit", "get", "wait", "health"
+	Status    int    // HTTP status, 0 for transport failures
+	Permanent bool   // true: retrying cannot succeed (4xx, validation)
+	Retries   int    // retry attempts consumed before giving up
+	Err       error
+}
+
+func (e *Error) Error() string {
+	kind := "retryable"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	if e.Status != 0 {
+		return fmt.Sprintf("client: %s: %s http %d after %d retries: %v", e.Op, kind, e.Status, e.Retries, e.Err)
+	}
+	return fmt.Sprintf("client: %s: %s after %d retries: %v", e.Op, kind, e.Retries, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Client is a cobrad API client. Safe for concurrent use.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	clock   Clock
+	opts    Options
+	breaker *breaker
+	rng     *jitterRNG
+}
+
+// New builds a Client for the cobrad server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultClient
+	}
+	if opts.Clock == nil {
+		opts.Clock = realClock{}
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 8
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 10 * time.Second
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 250 * time.Millisecond
+	}
+	if opts.Resubmits == 0 {
+		opts.Resubmits = 2
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = uint64(opts.Clock.Now().UnixNano())
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{
+		base:    baseURL,
+		httpc:   opts.HTTP,
+		clock:   opts.Clock,
+		opts:    opts,
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
+		rng:     &jitterRNG{state: seed},
+	}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, "health", http.MethodGet, "/healthz", nil, &out)
+}
+
+// Submit posts spec to /v1/jobs and returns the accepted job (202).
+func (c *Client) Submit(ctx context.Context, spec srv.JobSpec) (srv.JobView, error) {
+	var v srv.JobView
+	err := c.do(ctx, "submit", http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Get fetches one job's current view.
+func (c *Client) Get(ctx context.Context, id string) (srv.JobView, error) {
+	var v srv.JobView
+	err := c.do(ctx, "get", http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Wait polls the job until it reaches a terminal state (done, failed,
+// canceled) or ctx expires. A vanished job (404 — the server restarted
+// and lost its in-memory job table) surfaces as a permanent Error with
+// Status 404 so callers like Run can resubmit.
+func (c *Client) Wait(ctx context.Context, id string) (srv.JobView, error) {
+	for {
+		v, err := c.Get(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		switch v.State {
+		case srv.JobDone, srv.JobFailed, srv.JobCanceled:
+			return v, nil
+		}
+		if err := c.clock.Sleep(ctx, c.opts.PollInterval); err != nil {
+			return srv.JobView{}, &Error{Op: "wait", Permanent: true, Err: err}
+		}
+	}
+}
+
+// Run submits spec and waits for completion, resubmitting the whole
+// job — up to Options.Resubmits times — when it fails or vanishes
+// (server restart). Resubmission is idempotent: cells already computed
+// before the failure replay from the server's fingerprint-keyed cache.
+func (c *Client) Run(ctx context.Context, spec srv.JobSpec) (srv.JobView, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Resubmits; attempt++ {
+		if attempt > 0 {
+			if err := c.clock.Sleep(ctx, c.backoff(attempt-1, 0)); err != nil {
+				return srv.JobView{}, &Error{Op: "run", Permanent: true, Err: err}
+			}
+		}
+		v, err := c.Submit(ctx, spec)
+		if err == nil {
+			v, err = c.Wait(ctx, v.ID)
+			if err == nil {
+				if v.State == srv.JobDone {
+					return v, nil
+				}
+				// Failed or canceled server-side: the job itself is the
+				// failure, and a fresh submission may succeed (transient
+				// worker faults, drain races).
+				lastErr = fmt.Errorf("client: job %s %s: %s", v.ID, v.State, v.Error)
+				continue
+			}
+		}
+		var ce *Error
+		if errors.As(err, &ce) && ce.Permanent && ce.Status != http.StatusNotFound {
+			// Invalid spec, canceled context, ... — resubmitting the same
+			// bytes cannot help.
+			return srv.JobView{}, err
+		}
+		lastErr = err
+	}
+	return srv.JobView{}, &Error{Op: "run", Retries: c.opts.Resubmits, Err: lastErr}
+}
+
+// do runs one logical request with retry, backoff, Retry-After, and
+// the circuit breaker. All cobrad mutations are idempotent (submission
+// is content-addressed server-side), so POSTs retry as freely as GETs.
+func (c *Client) do(ctx context.Context, op, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return &Error{Op: op, Permanent: true, Err: err}
+		}
+	}
+
+	var lastErr error
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return &Error{Op: op, Permanent: true, Retries: retries, Err: err}
+		}
+		if err := c.breaker.allow(); err != nil {
+			return &Error{Op: op, Retries: retries, Err: err}
+		}
+
+		status, retryAfter, err := c.once(ctx, method, path, payload, out)
+		switch {
+		case err == nil:
+			c.breaker.success()
+			return nil
+		case status == 0:
+			// Transport failure: server unreachable, connection reset.
+			c.breaker.failure()
+			if ctx.Err() != nil {
+				return &Error{Op: op, Permanent: true, Retries: retries, Err: ctx.Err()}
+			}
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			// Backpressure: the server is up and telling us to slow
+			// down — not a breaker failure.
+			c.breaker.success()
+		case status >= 500:
+			c.breaker.failure()
+		default:
+			// 4xx: the request itself is wrong; retrying cannot help.
+			c.breaker.success()
+			return &Error{Op: op, Status: status, Permanent: true, Retries: retries, Err: err}
+		}
+		lastErr = err
+
+		if attempt >= c.opts.MaxRetries {
+			return &Error{Op: op, Status: status, Retries: retries, Err: lastErr}
+		}
+		if err := c.clock.Sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return &Error{Op: op, Permanent: true, Retries: retries, Err: err}
+		}
+		retries++
+	}
+}
+
+// once performs a single HTTP attempt. status 0 means no response.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (status int, retryAfter time.Duration, err error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return resp.StatusCode, 0, nil
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			// A mangled success body is retryable: the request landed but
+			// the response did not survive the trip.
+			return 0, 0, fmt.Errorf("decoding response: %w", derr)
+		}
+		return resp.StatusCode, 0, nil
+	}
+
+	retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.clock)
+	var eb struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return resp.StatusCode, retryAfter, errors.New(msg)
+}
+
+// backoff computes the delay before retry #attempt: full jitter over
+// an exponentially growing cap, or the server's Retry-After verbatim
+// when it asked for a specific delay.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	cap := c.opts.BaseBackoff << uint(attempt)
+	if cap > c.opts.MaxBackoff || cap <= 0 {
+		cap = c.opts.MaxBackoff
+	}
+	return time.Duration(c.rng.float64() * float64(cap))
+}
+
+// parseRetryAfter understands both forms of the header: delta-seconds
+// and HTTP-date.
+func parseRetryAfter(v string, clock Clock) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(clock.Now()); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// jitterRNG is a tiny lock-protected splitmix64 stream for backoff
+// jitter — deterministic under a fixed seed, no math/rand global state.
+type jitterRNG struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+func (r *jitterRNG) float64() float64 {
+	r.mu.Lock()
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

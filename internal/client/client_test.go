@@ -1,0 +1,315 @@
+package client
+
+// All retry/backoff behavior is tested against a fake clock: sleeps
+// record their duration and return instantly, so hundreds of simulated
+// retries run in microseconds of wall time.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cobra/internal/srv"
+)
+
+// fakeClock advances only when Sleep is called, and logs every sleep.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return nil
+}
+
+// advance moves the clock without a sleep (cooldown expiry).
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) sleepLog() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// scriptServer answers each request with the next scripted status (the
+// last repeats forever) and counts requests.
+type scriptServer struct {
+	mu      sync.Mutex
+	script  []int
+	calls   int
+	headers map[string]string
+	bodyFor func(status int) string
+}
+
+func (s *scriptServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		i := s.calls
+		s.calls++
+		if i >= len(s.script) {
+			i = len(s.script) - 1
+		}
+		status := s.script[i]
+		hdrs := s.headers
+		s.mu.Unlock()
+		for k, v := range hdrs {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(status)
+		body := `{"status":"ok"}`
+		if s.bodyFor != nil {
+			body = s.bodyFor(status)
+		}
+		w.Write([]byte(body))
+	}
+}
+
+func (s *scriptServer) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func newTestClient(t *testing.T, script *scriptServer, opts Options) (*Client, *fakeClock) {
+	t.Helper()
+	ts := httptest.NewServer(script.handler())
+	t.Cleanup(ts.Close)
+	clk := newFakeClock()
+	opts.Clock = clk
+	if opts.Seed == 0 {
+		opts.Seed = 12345
+	}
+	return New(ts.URL, opts), clk
+}
+
+// TestRetryThenSuccess: transient 500s are retried with backoff until
+// the server recovers; the overall call succeeds.
+func TestRetryThenSuccess(t *testing.T) {
+	srvr := &scriptServer{script: []int{500, 500, 200}}
+	c, clk := newTestClient(t, srvr, Options{MaxRetries: 4})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after recovery: %v", err)
+	}
+	if got := srvr.count(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	if len(clk.sleepLog()) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clk.sleepLog()))
+	}
+}
+
+// TestBackoffGrowsWithFullJitter: each retry's delay is drawn from
+// [0, base<<attempt] — never above the attempt's cap, never above
+// MaxBackoff, and deterministic under a fixed seed.
+func TestBackoffGrowsWithFullJitter(t *testing.T) {
+	srvr := &scriptServer{script: []int{500}}
+	base, max := 100*time.Millisecond, 400*time.Millisecond
+	c, clk := newTestClient(t, srvr, Options{MaxRetries: 6, BaseBackoff: base, MaxBackoff: max})
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected failure against an always-500 server")
+	}
+	sleeps := clk.sleepLog()
+	if len(sleeps) != 6 {
+		t.Fatalf("slept %d times, want 6", len(sleeps))
+	}
+	for i, d := range sleeps {
+		cap := base << uint(i)
+		if cap > max {
+			cap = max
+		}
+		if d < 0 || d > cap {
+			t.Fatalf("sleep %d = %v outside [0, %v]", i, d, cap)
+		}
+	}
+
+	// Same seed, same jitter sequence.
+	srvr2 := &scriptServer{script: []int{500}}
+	c2, clk2 := newTestClient(t, srvr2, Options{MaxRetries: 6, BaseBackoff: base, MaxBackoff: max})
+	c2.Health(context.Background())
+	for i, d := range clk2.sleepLog() {
+		if d != sleeps[i] {
+			t.Fatalf("jitter not deterministic: attempt %d %v != %v", i, d, sleeps[i])
+		}
+	}
+	_ = err
+}
+
+// TestRetryAfterHonored: a 429 with Retry-After overrides jittered
+// backoff with the server's exact delay.
+func TestRetryAfterHonored(t *testing.T) {
+	srvr := &scriptServer{script: []int{429, 200}, headers: map[string]string{"Retry-After": "7"}}
+	c, clk := newTestClient(t, srvr, Options{MaxRetries: 2})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := clk.sleepLog()
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want exactly [7s]", sleeps)
+	}
+}
+
+// TestPermanentErrorNoRetry: a 400 is permanent — one request, no
+// sleeps, typed error with the status.
+func TestPermanentErrorNoRetry(t *testing.T) {
+	srvr := &scriptServer{script: []int{400}, bodyFor: func(int) string { return `{"error":"srv: bad spec"}` }}
+	c, clk := newTestClient(t, srvr, Options{MaxRetries: 5})
+	_, err := c.Submit(context.Background(), srv.JobSpec{})
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *Error", err, err)
+	}
+	if !ce.Permanent || ce.Status != 400 || ce.Op != "submit" {
+		t.Fatalf("error misclassified: %+v", ce)
+	}
+	if srvr.count() != 1 || len(clk.sleepLog()) != 0 {
+		t.Fatalf("permanent error retried: %d requests, %d sleeps", srvr.count(), len(clk.sleepLog()))
+	}
+}
+
+// TestRetriesExhausted: a persistent 500 gives up after MaxRetries
+// with a retryable typed error carrying the retry count.
+func TestRetriesExhausted(t *testing.T) {
+	srvr := &scriptServer{script: []int{500}}
+	c, _ := newTestClient(t, srvr, Options{MaxRetries: 3})
+	err := c.Health(context.Background())
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	if ce.Permanent {
+		t.Fatal("availability failure marked permanent")
+	}
+	if ce.Retries != 3 || ce.Status != 500 {
+		t.Fatalf("error = %+v, want 3 retries at status 500", ce)
+	}
+	if srvr.count() != 4 {
+		t.Fatalf("server saw %d requests, want 4 (1 + 3 retries)", srvr.count())
+	}
+}
+
+// TestContextCancelStopsRetries: a canceled context ends the retry
+// loop immediately with a permanent error.
+func TestContextCancelStopsRetries(t *testing.T) {
+	srvr := &scriptServer{script: []int{500}}
+	c, _ := newTestClient(t, srvr, Options{MaxRetries: 50})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.Health(ctx)
+	var ce *Error
+	if !errors.As(err, &ce) || !ce.Permanent || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want permanent wrapping context.Canceled", err)
+	}
+}
+
+// TestCircuitBreakerOpens: after threshold consecutive failures the
+// breaker refuses locally without touching the network; after the
+// cooldown a half-open probe goes through and a success closes it.
+func TestCircuitBreakerOpens(t *testing.T) {
+	srvr := &scriptServer{script: []int{500}}
+	c, clk := newTestClient(t, srvr, Options{
+		MaxRetries:       -1, // isolate breaker behavior from retries
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := c.Health(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	before := srvr.count()
+	err := c.Health(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if srvr.count() != before {
+		t.Fatal("open breaker still hit the network")
+	}
+
+	// Cooldown elapses; the server has recovered; one probe closes it.
+	srvr.mu.Lock()
+	srvr.script = []int{200}
+	srvr.calls = 0
+	srvr.mu.Unlock()
+	clk.advance(2 * time.Minute)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("closed circuit refused: %v", err)
+	}
+}
+
+// TestCircuitBreakerReopensOnFailedProbe: a failed half-open probe
+// re-opens the circuit for another full cooldown.
+func TestCircuitBreakerReopensOnFailedProbe(t *testing.T) {
+	srvr := &scriptServer{script: []int{500}}
+	c, clk := newTestClient(t, srvr, Options{
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	ctx := context.Background()
+	c.Health(ctx)
+	c.Health(ctx) // opens
+	clk.advance(61 * time.Second)
+	if err := c.Health(ctx); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("cooldown elapsed but probe was refused")
+	}
+	// Probe failed against the still-broken server: open again.
+	if err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after failed probe", err)
+	}
+}
+
+// TestBackpressureNotABreakerFailure: 429s retry (honoring Retry-After)
+// without tripping the breaker — the server is healthy, just busy.
+func TestBackpressureNotABreakerFailure(t *testing.T) {
+	srvr := &scriptServer{script: []int{429, 429, 429, 429, 200}, headers: map[string]string{"Retry-After": "1"}}
+	c, _ := newTestClient(t, srvr, Options{MaxRetries: 10, BreakerThreshold: 2})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("backpressure tripped something: %v", err)
+	}
+}
+
+// TestRetryAfterHTTPDate: the HTTP-date form of Retry-After works too.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	clkProbe := newFakeClock()
+	date := clkProbe.Now().Add(30 * time.Second).Format(http.TimeFormat)
+	srvr := &scriptServer{script: []int{503, 200}, headers: map[string]string{"Retry-After": date}}
+	c, clk := newTestClient(t, srvr, Options{MaxRetries: 2})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := clk.sleepLog()
+	if len(sleeps) != 1 || sleeps[0] != 30*time.Second {
+		t.Fatalf("sleeps = %v, want [30s]", sleeps)
+	}
+}

@@ -1,0 +1,34 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the retry/backoff machinery so tests drive
+// hundreds of simulated retries without a single wall-clock sleep.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -16,19 +16,27 @@ package exp
 //
 // Crash tolerance on the journal itself: a process killed mid-append
 // leaves at most one truncated final line, which Open(resume=true)
-// drops silently. Corruption anywhere earlier is an error — a journal
-// with a damaged interior is not trustworthy enough to skip work from.
+// drops — and physically truncates away, so later appends never fuse
+// with the torn bytes into interior damage. A *surviving* process
+// whose append fails midway (ENOSPC, short write, failed fsync — all
+// injectable via the fault registry) rolls the file back to the last
+// good entry for the same reason. Corruption anywhere other than the
+// tail is an error — a journal with a damaged interior is not
+// trustworthy enough to skip work from.
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sync"
 	"time"
 
+	"cobra/internal/fault"
+	"cobra/internal/fsx"
 	"cobra/internal/obsv"
 	"cobra/internal/sim"
 )
@@ -88,6 +96,12 @@ type Journal struct {
 	path  string
 	cells map[string]sim.Metrics
 
+	// size is the length of the durable, well-formed prefix. A failed
+	// append truncates back to it, so the on-disk journal is damaged in
+	// at most its final (in-flight) line at any instant.
+	size   int64
+	broken error // a rollback that itself failed; journal unusable
+
 	replayed uint64 // lookups served from the journal
 	recorded uint64 // cells appended this run
 
@@ -104,8 +118,13 @@ type Journal struct {
 func OpenJournal(path string, resume bool) (*Journal, error) {
 	j := &Journal{path: path, cells: map[string]sim.Metrics{}}
 	if resume {
-		if err := j.load(); err != nil {
+		scan, err := scanJournal(path)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, err
+		}
+		if scan != nil {
+			j.cells = scan.cells
+			j.size = scan.goodSize
 		}
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
@@ -116,47 +135,79 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: opening checkpoint journal: %w", err)
 	}
+	// Physically drop any torn tail before the first append: O_APPEND
+	// writes land at EOF, and a new entry fused onto half a line would
+	// turn a tolerable torn tail into refused interior corruption on
+	// the next resume.
+	if resume {
+		if err := f.Truncate(j.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: dropping torn checkpoint tail: %w", err)
+		}
+	}
 	j.f = f
 	return j, nil
 }
 
-// load reads every complete entry from an existing journal file. A
-// truncated final line (crash mid-append) is tolerated and dropped;
-// damage anywhere else is ErrJournalCorrupt.
-func (j *Journal) load() error {
-	f, err := os.Open(j.path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil // nothing to resume from yet
-	}
+// journalScan is the result of reading a journal file tolerantly:
+// every complete well-formed line, the byte length of that good
+// prefix, and whether a torn tail was dropped.
+type journalScan struct {
+	order    []string // keys in first-appearance order (for compaction)
+	cells    map[string]sim.Metrics
+	entries  int   // complete entries parsed (duplicates included)
+	goodSize int64 // bytes of intact prefix
+	torn     bool  // a trailing partial or damaged line was dropped
+}
+
+// scanJournal reads every complete entry from a journal file. A
+// truncated or damaged final line (crash or torn write mid-append) is
+// tolerated, reported via torn, and excluded from goodSize; damage
+// anywhere else is ErrJournalCorrupt. A missing file propagates
+// os.ErrNotExist.
+func scanJournal(path string) (*journalScan, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("exp: opening checkpoint journal: %w", err)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("exp: reading checkpoint journal: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	var lines [][]byte
-	for sc.Scan() {
-		line := append([]byte(nil), sc.Bytes()...)
+	scan := &journalScan{cells: map[string]sim.Metrics{}}
+	lineNo := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated trailing bytes: a crash mid-append.
+			scan.torn = true
+			break
+		}
+		line := data[off : off+nl]
+		end := off + nl + 1
+		lineNo++
 		if len(line) > 0 {
-			lines = append(lines, line)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("exp: reading checkpoint journal: %w", err)
-	}
-	for i, line := range lines {
-		var e journalEntry
-		if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
-			if i == len(lines)-1 {
-				// Torn final append from a crash — drop it; the cell
-				// simply re-runs.
-				continue
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
+				if end == len(data) {
+					// Complete-but-damaged final line (e.g. a torn write
+					// whose partial bytes happened to end in '\n', or a
+					// crashed writer interleaving) — drop it like an
+					// unterminated tail; the cell re-runs.
+					scan.torn = true
+					break
+				}
+				return nil, fmt.Errorf("%w: %s line %d", ErrJournalCorrupt, path, lineNo)
 			}
-			return fmt.Errorf("%w: %s line %d", ErrJournalCorrupt, j.path, i+1)
+			if _, seen := scan.cells[e.K]; !seen {
+				scan.order = append(scan.order, e.K)
+			}
+			scan.cells[e.K] = e.M
+			scan.entries++
 		}
-		j.cells[e.K] = e.M
+		scan.goodSize = int64(end)
+		off = end
 	}
-	return nil
+	return scan, nil
 }
 
 // Lookup returns the recorded metrics for key, if the cell already
@@ -174,7 +225,11 @@ func (j *Journal) Lookup(key CellKey) (sim.Metrics, bool) {
 
 // Record appends one completed cell and fsyncs the journal, so the
 // entry survives any subsequent crash. Append-only + O_APPEND keeps
-// concurrent recorders from interleaving partial lines.
+// concurrent recorders from interleaving partial lines. A failed
+// append (ENOSPC, short write, failed fsync — each behind a named
+// fault injection point) rolls the file back to the last good entry,
+// so an error can cost at most the entry being written, never the
+// journal prefix.
 func (j *Journal) Record(key CellKey, m sim.Metrics) error {
 	line, err := json.Marshal(journalEntry{K: key.fingerprint(), M: m})
 	if err != nil {
@@ -183,18 +238,39 @@ func (j *Journal) Record(key CellKey, m sim.Metrics) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("exp: appending checkpoint entry: %w", err)
+	if j.broken != nil {
+		return fmt.Errorf("exp: checkpoint journal unusable after failed rollback: %w", j.broken)
+	}
+	if _, err := fault.Writer(fault.PointJournalAppend, io.Writer(j.f)).Write(line); err != nil {
+		return j.rollback("appending checkpoint entry", err)
+	}
+	if err := fault.Hit(fault.PointJournalSync); err != nil {
+		return j.rollback("syncing checkpoint journal", err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("exp: syncing checkpoint journal: %w", err)
+		return j.rollback("syncing checkpoint journal", err)
 	}
+	j.size += int64(len(line))
 	j.cells[key.fingerprint()] = m
 	j.recorded++
 	if j.onRecord != nil {
 		j.onRecord(j.recorded)
 	}
 	return nil
+}
+
+// rollback restores the journal to its last good prefix after a failed
+// append and returns the classified append error. If the truncate
+// itself fails the journal is marked unusable — better to refuse
+// further appends than to fuse new entries onto torn bytes. Caller
+// holds j.mu.
+func (j *Journal) rollback(stage string, cause error) error {
+	cause = fmt.Errorf("exp: %s: %w", stage, fsx.WrapDiskFull(cause))
+	if terr := j.f.Truncate(j.size); terr != nil {
+		j.broken = fmt.Errorf("%v (rollback failed: %v)", cause, terr)
+		return j.broken
+	}
+	return cause
 }
 
 // Len returns the number of distinct completed cells known.

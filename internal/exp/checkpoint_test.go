@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"cobra/internal/fault"
+	"cobra/internal/fsx"
 	"cobra/internal/sim"
 )
 
@@ -246,6 +248,217 @@ func TestCampaignInterruptResume(t *testing.T) {
 	}
 	if _, rec := j3.Stats(); rec != 0 {
 		t.Fatalf("pure replay still simulated %d cells", rec)
+	}
+}
+
+// TestJournalResumeTruncatesTornTail: the torn bytes are physically
+// removed on resume, so appends after resume land on a clean boundary
+// and the next resume sees zero damage.
+func TestJournalResumeTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	k1 := CellKey{Figure: "f", App: "A"}
+	if err := j.Record(k1, sim.Metrics{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString(`{"k":"torn`)
+	f.Close()
+
+	r, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := CellKey{Figure: "f", App: "B"}
+	if err := r.Record(k2, sim.Metrics{Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Had the tail survived, the new entry would have fused with it into
+	// interior corruption; a clean resume proves it was truncated away.
+	r2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("journal corrupt after append-past-torn-tail: %v", err)
+	}
+	defer r2.Close()
+	if r2.Len() != 2 {
+		t.Fatalf("kept %d cells, want 2", r2.Len())
+	}
+	for _, k := range []CellKey{k1, k2} {
+		if _, ok := r2.Lookup(k); !ok {
+			t.Fatalf("cell %v lost", k)
+		}
+	}
+}
+
+// TestJournalAppendFaultRollsBack drives the exp.journal.append and
+// exp.journal.sync injection points: a failed append (torn write,
+// ENOSPC, failed fsync) must roll the file back to the last good entry
+// so the journal stays loadable with every previously recorded cell.
+func TestJournalAppendFaultRollsBack(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		spec     string
+		diskFull bool
+	}{
+		{"torn append", "exp.journal.append:at=1:err=short", true},
+		{"append enospc", "exp.journal.append:at=1:err=enospc", true},
+		{"failed fsync", "exp.journal.sync:at=1:err=eio", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			j, err := OpenJournal(path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k1 := CellKey{Figure: "f", App: "A"}
+			if err := j.Record(k1, sim.Metrics{Cycles: 1}); err != nil {
+				t.Fatal(err)
+			}
+			plan, err := fault.Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fault.Activate(plan)
+			err = j.Record(CellKey{Figure: "f", App: "B"}, sim.Metrics{Cycles: 2})
+			fault.Deactivate()
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want injected", err)
+			}
+			if errors.Is(err, fsx.ErrDiskFull) != tc.diskFull {
+				t.Fatalf("ErrDiskFull classification = %v, want %v (err: %v)", !tc.diskFull, tc.diskFull, err)
+			}
+			// The journal keeps working after the rollback.
+			k3 := CellKey{Figure: "f", App: "C"}
+			if err := j.Record(k3, sim.Metrics{Cycles: 3}); err != nil {
+				t.Fatalf("journal unusable after rollback: %v", err)
+			}
+			j.Close()
+
+			r, err := OpenJournal(path, true)
+			if err != nil {
+				t.Fatalf("journal corrupt after rolled-back append: %v", err)
+			}
+			defer r.Close()
+			if r.Len() != 2 {
+				t.Fatalf("kept %d cells, want 2 (A and C)", r.Len())
+			}
+			if _, ok := r.Lookup(k1); !ok {
+				t.Fatal("pre-fault entry lost")
+			}
+			if _, ok := r.Lookup(k3); !ok {
+				t.Fatal("post-rollback entry lost")
+			}
+		})
+	}
+}
+
+// TestCompactJournal: duplicates collapse last-wins, torn tails drop,
+// and the compacted journal replays identically to the original.
+func TestCompactJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	kA := CellKey{Figure: "f", App: "A"}
+	kB := CellKey{Figure: "f", App: "B"}
+	j.Record(kA, sim.Metrics{Cycles: 1})
+	j.Record(kB, sim.Metrics{Cycles: 2})
+	j.Record(kA, sim.Metrics{Cycles: 10}) // supersedes the first A
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString(`{"k":"torn`)
+	f.Close()
+
+	kept, dropped, err := CompactJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 || dropped != 2 { // 1 superseded duplicate + 1 torn tail
+		t.Fatalf("kept=%d dropped=%d, want 2/2", kept, dropped)
+	}
+
+	r, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("compacted journal holds %d cells, want 2", r.Len())
+	}
+	if m, ok := r.Lookup(kA); !ok || m.Cycles != 10 {
+		t.Fatalf("compaction lost last-wins semantics: %+v %v", m, ok)
+	}
+	if m, ok := r.Lookup(kB); !ok || m.Cycles != 2 {
+		t.Fatalf("unique entry damaged: %+v %v", m, ok)
+	}
+
+	// Compacting an already-compact journal is a no-op (bytes untouched).
+	before, _ := os.ReadFile(path)
+	kept, dropped, err = CompactJournal(path)
+	if err != nil || kept != 2 || dropped != 0 {
+		t.Fatalf("second compaction: kept=%d dropped=%d err=%v", kept, dropped, err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("idempotent compaction rewrote the file")
+	}
+}
+
+// TestCompactJournalRefusesCorrupt: interior damage is not something
+// compaction should paper over.
+func TestCompactJournalRefusesCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := OpenJournal(path, false)
+	j.Record(CellKey{Figure: "f", App: "A"}, sim.Metrics{Cycles: 1})
+	j.Record(CellKey{Figure: "f", App: "B"}, sim.Metrics{Cycles: 2})
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[2] = 0xff
+	os.WriteFile(path, data, 0o644)
+	if _, _, err := CompactJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestCampaignReplayAfterCompaction: a compacted checkpoint drives a
+// byte-identical pure-replay campaign — the satellite's acceptance.
+func TestCampaignReplayAfterCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign compaction test skipped in -short mode")
+	}
+	o := tinyOpts()
+	o.Parallel = 1
+
+	path := filepath.Join(t.TempDir(), "fig10.ckpt")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetMemos()
+	run1 := o
+	run1.Journal = j
+	want := renderFigure(t, Fig10, run1)
+	j.Close()
+
+	if _, _, err := CompactJournal(path); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ResetMemos()
+	run2 := o
+	run2.Journal = j2
+	got := renderFigure(t, Fig10, run2)
+	if !bytes.Equal(want, got) {
+		t.Fatal("replay from compacted journal differs from original run")
+	}
+	if _, rec := j2.Stats(); rec != 0 {
+		t.Fatalf("replay from compacted journal still simulated %d cells", rec)
 	}
 }
 

@@ -1,0 +1,63 @@
+package exp
+
+// Journal compaction. Long campaigns (and cobrad cache journals that
+// survive many restarts) accumulate superseded lines: duplicate keys
+// from overlapping runs, and the occasional torn tail a crash left
+// behind. Replay semantics are last-write-wins, so every line but the
+// final one per key is dead weight that still costs load time and
+// disk. CompactJournal rewrites the file down to exactly one line per
+// key — atomically, via the same staged-write machinery as figure
+// artifacts, so a crash mid-compaction leaves the original journal
+// untouched.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cobra/internal/fsx"
+)
+
+// CompactJournal rewrites the journal at path, dropping superseded
+// duplicate entries (last metrics win, as in replay) and any torn
+// tail. Surviving keys keep their first-appearance order, so a
+// compacted journal diffs cleanly against its ancestor. Returns the
+// number of cells kept and the number of lines dropped (superseded
+// duplicates plus a torn tail, if any).
+//
+// The journal must not be open for appending during compaction; run it
+// between campaigns (figures -compact-checkpoint) or with the service
+// stopped.
+func CompactJournal(path string) (kept, dropped int, err error) {
+	scan, err := scanJournal(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	kept = len(scan.order)
+	dropped = scan.entries - kept
+	if scan.torn {
+		dropped++
+	}
+	if dropped == 0 {
+		return kept, 0, nil // already compact; leave the bytes alone
+	}
+	err = fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		for _, k := range scan.order {
+			line, err := json.Marshal(journalEntry{K: k, M: scan.cells[k]})
+			if err != nil {
+				return fmt.Errorf("exp: encoding compacted entry: %w", err)
+			}
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return kept, dropped, nil
+}

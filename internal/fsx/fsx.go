@@ -7,15 +7,44 @@
 // fsyncs it, and renames it over the destination only after every byte
 // is durable. A reader (or a crashed writer) therefore never observes a
 // partially written artifact — it sees either the old file or the new
-// one, never a truncated hybrid.
+// one, never a truncated hybrid. The guarantee holds under injected
+// faults too: every stage is a named fault injection point
+// (fault.PointFsxWrite/Sync/Rename), and the fsx tests drive ENOSPC,
+// short writes, failed fsyncs and torn renames through each of them,
+// asserting the destination is untouched and no staging litter remains.
+//
+// Failures are classified: a write that died because the disk is full
+// (ENOSPC anywhere in the chain) additionally reports ErrDiskFull, so
+// campaign drivers can exit with a distinct code instead of retrying a
+// hopeless write.
 package fsx
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
+
+	"cobra/internal/fault"
 )
+
+// ErrDiskFull tags any fsx/journal failure whose root cause is disk
+// exhaustion (syscall.ENOSPC). Unlike transient I/O errors, a full
+// disk will fail every retry; callers use errors.Is(err, ErrDiskFull)
+// to abort with a distinct exit code (cmd/figures exits 3).
+var ErrDiskFull = errors.New("fsx: disk full")
+
+// WrapDiskFull decorates err with ErrDiskFull when its chain contains
+// ENOSPC (and it is not already tagged). Nil-safe; exported so the
+// checkpoint journal applies the same classification to its appends.
+func WrapDiskFull(err error) error {
+	if err != nil && errors.Is(err, syscall.ENOSPC) && !errors.Is(err, ErrDiskFull) {
+		return fmt.Errorf("%w: %w", ErrDiskFull, err)
+	}
+	return err
+}
 
 // WriteFileAtomic writes the output of `write` to path atomically:
 // temp file in the same directory -> write -> fsync -> rename. On any
@@ -27,24 +56,27 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	}
 	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("fsx: staging %s: %w", path, err)
+		return fmt.Errorf("fsx: staging %s: %w", path, WrapDiskFull(err))
 	}
 	tmpPath := tmp.Name()
 	// Clean up the staging file on every failure path below.
 	fail := func(stage string, err error) error {
 		tmp.Close()
 		os.Remove(tmpPath)
-		return fmt.Errorf("fsx: %s %s: %w", stage, path, err)
+		return fmt.Errorf("fsx: %s %s: %w", stage, path, WrapDiskFull(err))
 	}
-	if err := write(tmp); err != nil {
+	if err := write(fault.Writer(fault.PointFsxWrite, tmp)); err != nil {
 		return fail("writing", err)
+	}
+	if err := fault.Hit(fault.PointFsxSync); err != nil {
+		return fail("syncing", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail("syncing", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("fsx: closing %s: %w", path, err)
+		return fmt.Errorf("fsx: closing %s: %w", path, WrapDiskFull(err))
 	}
 	// os.CreateTemp creates 0600; published artifacts follow the usual
 	// umask-style default instead.
@@ -52,9 +84,15 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("fsx: chmod %s: %w", path, err)
 	}
+	// A failed (torn) rename leaves the old destination in place; the
+	// staging file is discarded either way.
+	if err := fault.Hit(fault.PointFsxRename); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("fsx: publishing %s: %w", path, WrapDiskFull(err))
+	}
 	if err := os.Rename(tmpPath, path); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("fsx: publishing %s: %w", path, err)
+		return fmt.Errorf("fsx: publishing %s: %w", path, WrapDiskFull(err))
 	}
 	// Make the rename itself durable. Directory fsync is best-effort:
 	// some filesystems refuse O_RDONLY dir syncs, and the data is

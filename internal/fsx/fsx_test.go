@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+
+	"cobra/internal/fault"
 )
 
 func listDir(t *testing.T, dir string) []string {
@@ -108,5 +111,91 @@ func TestWriteFileAtomicFailureNoNewFile(t *testing.T) {
 func TestWriteFileAtomicBadDir(t *testing.T) {
 	if err := WriteFileAtomicBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
 		t.Fatal("expected error for missing directory")
+	}
+}
+
+// TestInjectedFaultsLeaveDestinationUntouched drives every fsx
+// injection point (torn write, failed fsync, torn rename) and asserts
+// the atomicity contract under each: the previous artifact survives
+// byte-identical and no staging litter remains.
+func TestInjectedFaultsLeaveDestinationUntouched(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec string
+	}{
+		{"short write", "fsx.write:at=1:err=short"},
+		{"write enospc", "fsx.write:at=1:err=enospc"},
+		{"fsync failure", "fsx.sync:at=1:err=eio"},
+		{"fsync enospc", "fsx.sync:at=1:err=enospc"},
+		{"torn rename", "fsx.rename:at=1:err=eio"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.txt")
+			if err := WriteFileAtomicBytes(path, []byte("precious")); err != nil {
+				t.Fatal(err)
+			}
+			plan, err := fault.Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fault.Activate(plan)
+			defer fault.Deactivate()
+			err = WriteFileAtomicBytes(path, []byte("replacement that must not land"))
+			fault.Deactivate()
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want injected", err)
+			}
+			got, readErr := os.ReadFile(path)
+			if readErr != nil || string(got) != "precious" {
+				t.Fatalf("destination damaged: %q, %v", got, readErr)
+			}
+			for _, n := range listDir(t, dir) {
+				if strings.Contains(n, ".tmp-") {
+					t.Fatalf("staging residue %q left behind", n)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskFullClassification: any ENOSPC in the chain — injected at
+// the write or sync points here, exactly what a real full disk raises —
+// is tagged ErrDiskFull; non-ENOSPC failures are not.
+func TestDiskFullClassification(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range []string{"fsx.write:at=1:err=enospc", "fsx.write:at=1:err=short", "fsx.sync:at=1:err=enospc"} {
+		plan, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.Activate(plan)
+		err = WriteFileAtomicBytes(filepath.Join(dir, "full.txt"), []byte("x"))
+		fault.Deactivate()
+		if !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("%s: err = %v, want ErrDiskFull", spec, err)
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("%s: ErrDiskFull lost the underlying ENOSPC: %v", spec, err)
+		}
+	}
+
+	plan, err := fault.Parse("fsx.sync:at=1:err=eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(plan)
+	err = WriteFileAtomicBytes(filepath.Join(dir, "eio.txt"), []byte("x"))
+	fault.Deactivate()
+	if err == nil || errors.Is(err, ErrDiskFull) {
+		t.Fatalf("EIO misclassified as disk-full: %v", err)
+	}
+
+	if WrapDiskFull(nil) != nil {
+		t.Fatal("WrapDiskFull(nil) != nil")
+	}
+	tagged := WrapDiskFull(syscall.ENOSPC)
+	if WrapDiskFull(tagged) != tagged {
+		t.Fatal("WrapDiskFull double-tagged an error")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"testing"
 
+	"cobra/internal/fault"
 	"cobra/internal/graph"
 	"cobra/internal/pb"
 	"cobra/internal/sparse"
@@ -235,5 +236,46 @@ func TestCorruptErrorReportsKind(t *testing.T) {
 	}
 	if ce.Kind != "matrix" {
 		t.Fatalf("Kind = %q", ce.Kind)
+	}
+}
+
+// TestInjectedIOFaults drives the gio.read/gio.write injection points:
+// an injected read error surfaces as a typed corruption (never a
+// silently wrong graph), and an injected torn write produces bytes the
+// reader then rejects — the full write-fault-then-read-back cycle.
+func TestInjectedIOFaults(t *testing.T) {
+	plan, err := fault.Parse("gio.read:at=1:err=eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(plan)
+	_, readErr := ReadEdgeList(bytes.NewReader(edgeListBytes(t)))
+	fault.Deactivate()
+	if readErr == nil || !errors.Is(readErr, fault.ErrInjected) {
+		t.Fatalf("injected read fault not surfaced: %v", readErr)
+	}
+	var ce *CorruptError
+	if !errors.As(readErr, &ce) {
+		t.Fatalf("injected read fault lost its corruption context: %v", readErr)
+	}
+
+	// Torn write: the writer reports the fault AND the half-written
+	// bytes fail verification on read-back (no silent acceptance).
+	plan, err = fault.Parse("gio.write:at=2:err=short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn bytes.Buffer
+	fault.Activate(plan)
+	writeErr := WriteCSR(&torn, graph.BuildCSR(graph.Uniform(64, 256, 9), false, pb.Options{}))
+	fault.Deactivate()
+	if writeErr == nil || !errors.Is(writeErr, fault.ErrShortWrite) {
+		t.Fatalf("torn write not reported: %v", writeErr)
+	}
+	if torn.Len() == 0 {
+		t.Fatal("torn write produced no bytes; the fault fired before any write")
+	}
+	if _, err := ReadCSR(bytes.NewReader(torn.Bytes())); err == nil {
+		t.Fatal("reader accepted a torn CSR file")
 	}
 }

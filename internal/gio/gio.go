@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 
+	"cobra/internal/fault"
 	"cobra/internal/graph"
 	"cobra/internal/sparse"
 )
@@ -231,6 +232,7 @@ const maxElems = 1 << 32
 
 // WriteEdgeList serializes el (with integrity footer).
 func WriteEdgeList(w io.Writer, el *graph.EdgeList) error {
+	w = fault.Writer(fault.PointGioWrite, w)
 	cw := &crcWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicEdgeList); err != nil {
@@ -260,7 +262,7 @@ func WriteEdgeList(w io.Writer, el *graph.EdgeList) error {
 // footer (when present) and validating vertex bounds.
 func ReadEdgeList(r io.Reader) (*graph.EdgeList, error) {
 	const kind = "edge list"
-	cr := &crcReader{br: bufio.NewReader(r)}
+	cr := &crcReader{br: bufio.NewReader(fault.Reader(fault.PointGioRead, r))}
 	if err := readHeader(cr, magicEdgeList, kind); err != nil {
 		return nil, err
 	}
@@ -297,6 +299,7 @@ func ReadEdgeList(r io.Reader) (*graph.EdgeList, error) {
 
 // WriteCSR serializes g (with integrity footer).
 func WriteCSR(w io.Writer, g *graph.CSR) error {
+	w = fault.Writer(fault.PointGioWrite, w)
 	cw := &crcWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicCSR); err != nil {
@@ -321,7 +324,7 @@ func WriteCSR(w io.Writer, g *graph.CSR) error {
 // (when present) and validating its invariants.
 func ReadCSR(r io.Reader) (*graph.CSR, error) {
 	const kind = "CSR"
-	cr := &crcReader{br: bufio.NewReader(r)}
+	cr := &crcReader{br: bufio.NewReader(fault.Reader(fault.PointGioRead, r))}
 	if err := readHeader(cr, magicCSR, kind); err != nil {
 		return nil, err
 	}
@@ -352,6 +355,7 @@ func ReadCSR(r io.Reader) (*graph.CSR, error) {
 
 // WriteMatrix serializes m (with integrity footer).
 func WriteMatrix(w io.Writer, m *sparse.Matrix) error {
+	w = fault.Writer(fault.PointGioWrite, w)
 	cw := &crcWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if err := writeHeader(bw, magicMatrix); err != nil {
@@ -389,7 +393,7 @@ func WriteMatrix(w io.Writer, m *sparse.Matrix) error {
 // (when present) and validating its invariants.
 func ReadMatrix(r io.Reader) (*sparse.Matrix, error) {
 	const kind = "matrix"
-	cr := &crcReader{br: bufio.NewReader(r)}
+	cr := &crcReader{br: bufio.NewReader(fault.Reader(fault.PointGioRead, r))}
 	if err := readHeader(cr, magicMatrix, kind); err != nil {
 		return nil, err
 	}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"cobra/internal/fault"
 )
 
 // maxBodyBytes bounds request bodies; a JobSpec is tiny.
@@ -76,6 +78,10 @@ func (s *Server) acceptJob(w http.ResponseWriter, spec JobSpec) *Job {
 	case errors.Is(err, errDraining):
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, fault.ErrInjected):
+		// An injected admission fault is an internal failure, not the
+		// client's: 500, retryable.
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	}
@@ -110,6 +116,12 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 	if job == nil {
 		return
 	}
+	// The body is fully decoded; clear the server's read deadline so a
+	// long-running job outlives ReadTimeout. Without this the connection
+	// deadline fires mid-wait, the background body read fails, and the
+	// request context is canceled before the job finishes. Recorders in
+	// tests don't implement the controller — that error is fine to drop.
+	_ = http.NewResponseController(w).SetReadDeadline(time.Time{})
 	deadline := time.NewTimer(s.timeoutFor(job.spec) + time.Second)
 	defer deadline.Stop()
 	select {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cobra/internal/exp"
+	"cobra/internal/fault"
 	"cobra/internal/mem"
 	"cobra/internal/obsv"
 	"cobra/internal/sim"
@@ -215,6 +216,10 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 		s.reg.Counter("srv.jobs.rejected_invalid").Add(1)
 		return nil, err
 	}
+	if err := fault.Hit(fault.PointSrvAdmit); err != nil {
+		s.reg.Counter("srv.jobs.rejected_injected").Add(1)
+		return nil, err
+	}
 	id := fmt.Sprintf("j-%06d", s.seq.Add(1))
 	job := newJob(id, spec, schemes, time.Now())
 
@@ -300,7 +305,19 @@ func (s *Server) runJob(job *Job) {
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			return exp.RunScheme(app, scheme, job.spec.Bins, arch)
+			m, err := exp.RunScheme(app, scheme, job.spec.Bins, arch)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			// Completion fault: the simulation finished, but the worker
+			// "dies" before the result lands. Firing inside the compute
+			// closure guarantees a fired fault discards the metrics and is
+			// never cached — the cache's error-never-cached contract under
+			// test in the backpressure suite.
+			if ferr := fault.Hit(fault.PointSrvComplete); ferr != nil {
+				return sim.Metrics{}, ferr
+			}
+			return m, nil
 		})
 		t.Stop()
 		if err == nil {
