@@ -24,11 +24,13 @@ test:
 # progress renderer goroutine, and the concurrent event log; srv: the
 # worker pool, single-flight result cache, drain-under-load and
 # faulted-load tests; fault: the lock-free injection registry under
-# concurrent hits; client: retry/breaker state across goroutines).
+# concurrent hits; client: retry/breaker state across goroutines;
+# sim/simtest: the multi-core sharded runners' per-phase goroutine
+# gangs and the cross-core conformance oracle).
 # (-timeout 30m: exp's race pass alone runs >10m on a 2-core box, past
 # go test's default per-binary timeout.)
 race:
-	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client
+	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client ./internal/sim ./internal/simtest
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.

@@ -7,6 +7,7 @@
 //
 //	cobrasim -app DegreeCount -input URND -scale 18 -schemes Baseline,PB-SW,COBRA
 //	cobrasim -app NeighborPopulate -input KRON -bins 512
+//	cobrasim -app DegreeCount -input KRON -cores 16   # sharded multi-core model
 //	cobrasim -app DegreeCount -input URND -json   # machine-readable metrics
 //	cobrasim -list
 //
@@ -42,6 +43,7 @@ func run() int {
 		bins    = flag.Int("bins", 0, "PB-SW bin count (0 = sweep for best)")
 		schemes = flag.String("schemes", "Baseline,PB-SW,COBRA", "comma-separated schemes")
 		nuca    = flag.Bool("nuca", false, "model Table II's 4x4-mesh NUCA latency for the shared LLC")
+		cores   = flag.Int("cores", 1, "simulated core count (1 = legacy single-core model)")
 		asJSON  = flag.Bool("json", false, "emit the metrics slice as JSON (the cobrad wire format) instead of tables")
 		list    = flag.Bool("list", false, "list workloads and inputs, then exit")
 	)
@@ -75,6 +77,9 @@ func run() int {
 	arch := sim.DefaultArch()
 	if *nuca {
 		arch.Mem.NUCA = mem.DefaultNUCA()
+	}
+	if *cores > 1 {
+		arch = arch.WithCores(*cores)
 	}
 	if !*asJSON {
 		fmt.Printf("%s on %s: %d keys, %d updates, %d B tuples, commutative=%v\n\n",

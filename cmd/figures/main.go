@@ -73,28 +73,29 @@ import (
 type figureFn func(exp.Opts) (*exp.Table, error)
 
 var figures = map[string]figureFn{
-	"2":   exp.Fig2,
-	"4":   exp.Fig4,
-	"5":   exp.Fig5,
-	"t1":  exp.Table1,
-	"10":  exp.Fig10,
-	"11":  exp.Fig11,
-	"12":  exp.Fig12,
-	"13a": exp.Fig13a,
-	"13b": exp.Fig13b,
-	"13c": exp.Fig13c,
-	"14":  exp.Fig14,
-	"15":  exp.Fig15,
-	"a1":  exp.AblationPrefetcher,
-	"a2":  exp.AblationLLCPolicy,
-	"a3":  exp.AblationPINV,
-	"a4":  exp.AblationMLP,
-	"a5":  exp.AblationNoPartition,
-	"a6":  exp.AblationNUCA,
+	"2":       exp.Fig2,
+	"4":       exp.Fig4,
+	"5":       exp.Fig5,
+	"t1":      exp.Table1,
+	"10":      exp.Fig10,
+	"11":      exp.Fig11,
+	"12":      exp.Fig12,
+	"13a":     exp.Fig13a,
+	"13b":     exp.Fig13b,
+	"13c":     exp.Fig13c,
+	"14":      exp.Fig14,
+	"15":      exp.Fig15,
+	"scaling": exp.FigScaling,
+	"a1":      exp.AblationPrefetcher,
+	"a2":      exp.AblationLLCPolicy,
+	"a3":      exp.AblationPINV,
+	"a4":      exp.AblationMLP,
+	"a5":      exp.AblationNoPartition,
+	"a6":      exp.AblationNUCA,
 }
 
 // order fixes the presentation sequence for -all.
-var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "a1", "a2", "a3", "a4", "a5", "a6"}
+var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "scaling", "a1", "a2", "a3", "a4", "a5", "a6"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -106,7 +107,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig         = fs.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15) or ablation (a1..a6)")
+		fig         = fs.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15,scaling) or ablation (a1..a6)")
 		all         = fs.Bool("all", false, "regenerate every figure")
 		quick       = fs.Bool("quick", false, "small-scale smoke run")
 		scale       = fs.Int("scale", 0, "override input scale (keys ~ 2^scale)")
@@ -123,6 +124,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath   = fs.String("trace", "", "write a runtime execution trace to this file")
+		cores       = fs.Int("cores", 1, "simulated core count for every run (1 = legacy single-core model; the scaling figure sweeps its own core axis)")
 		scalarRefs  = fs.Bool("scalarrefs", false, "drive simulations through the scalar per-reference oracle instead of the batched pipeline (byte-identical output, slower; for differential testing)")
 		compactCkpt = fs.Bool("compact-checkpoint", false, "compact the -checkpoint journal (drop superseded duplicates and torn tails), then exit")
 	)
@@ -182,6 +184,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	opts.Seed = *seed
 	opts.Parallel = *parallel
 	opts.CellTimeout = *cellTimeout
+	if *cores > 1 {
+		opts.Arch = opts.Arch.WithCores(*cores)
+	}
 	if *scalarRefs {
 		opts.Arch = opts.Arch.WithScalarRefs()
 	}

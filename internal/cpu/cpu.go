@@ -70,6 +70,23 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// Add returns c + o, counter-wise (for merging per-core counters).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Instructions: c.Instructions + o.Instructions,
+		ALUOps:       c.ALUOps + o.ALUOps,
+		Loads:        c.Loads + o.Loads,
+		Stores:       c.Stores + o.Stores,
+		Branches:     c.Branches + o.Branches,
+		BranchMisses: c.BranchMisses + o.BranchMisses,
+		BinUpdates:   c.BinUpdates + o.BinUpdates,
+		LoadsL1:      c.LoadsL1 + o.LoadsL1,
+		LoadsL2:      c.LoadsL2 + o.LoadsL2,
+		LoadsLLC:     c.LoadsLLC + o.LoadsLLC,
+		LoadsDRAM:    c.LoadsDRAM + o.LoadsDRAM,
+	}
+}
+
 // BranchMissRate returns mispredictions per branch.
 func (c Counters) BranchMissRate() float64 {
 	if c.Branches == 0 {

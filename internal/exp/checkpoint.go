@@ -53,13 +53,20 @@ type CellKey struct {
 	Seed   uint64
 	Scheme string // scheme plus any variant knobs ("COBRA[evict=8]")
 	Bins   int
+	Cores  int    // simulated core count (0 and 1 both mean single-core)
 	Arch   string // ArchFingerprint of the cell's architecture
 }
 
-// fingerprint renders the key as the canonical journal string.
+// fingerprint renders the key as the canonical journal string. Cores
+// is folded to its effective value (0 -> 1) so callers that never set
+// it produce the same key as callers that spell out single-core.
 func (k CellKey) fingerprint() string {
-	return fmt.Sprintf("fig=%s|app=%s|in=%s|scale=%d|seed=%d|scheme=%s|bins=%d|arch=%s",
-		k.Figure, k.App, k.Input, k.Scale, k.Seed, k.Scheme, k.Bins, k.Arch)
+	cores := k.Cores
+	if cores <= 1 {
+		cores = 1
+	}
+	return fmt.Sprintf("fig=%s|app=%s|in=%s|scale=%d|seed=%d|scheme=%s|bins=%d|cores=%d|arch=%s",
+		k.Figure, k.App, k.Input, k.Scale, k.Seed, k.Scheme, k.Bins, cores, k.Arch)
 }
 
 // Fingerprint is the exported form of the canonical cell identity
@@ -312,6 +319,9 @@ func (o Opts) journaled(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics
 		return o.observed(k, run)
 	}
 	k.Scale, k.Seed = o.Scale, o.Seed
+	if k.Cores == 0 {
+		k.Cores = o.Arch.Cores()
+	}
 	if k.Arch == "" {
 		k.Arch = ArchFingerprint(o.Arch)
 	}

@@ -1,0 +1,89 @@
+package exp
+
+// Thread-scaling sweep: the multi-core sharded simulator (sim
+// multicore.go, DESIGN §9) swept over core counts up to the paper's
+// 16-core machine. Each (app, scheme, N) point is one independent
+// journaled cell keyed by its core count and per-N arch fingerprint,
+// so a resumed campaign replays exactly like any other figure.
+
+import (
+	"fmt"
+
+	"cobra/internal/sim"
+)
+
+// CoreSweep is the thread-scaling core-count axis: 1 (the single-core
+// oracle) doubling up to the paper's 16-core CMP (Table II).
+var CoreSweep = []int{1, 2, 4, 8, 16}
+
+// scalingPairs and scalingSchemes pick the sweep's workloads: one
+// commutative and one non-commutative app, under the three headline
+// schemes. PB-SW runs at the representative 4096-bin compromise so the
+// sweep holds the bin count fixed while the core count varies.
+var (
+	scalingPairs   = []pair{{"DegreeCount", "KRON"}, {"NeighborPopulate", "KRON"}}
+	scalingSchemes = []struct {
+		Scheme sim.Scheme
+		Bins   int
+	}{
+		{sim.SchemeBaseline, 0},
+		{sim.SchemePBSW, 4096},
+		{sim.SchemeCOBRA, 0},
+	}
+)
+
+// FigScaling regenerates the thread-scaling sweep: simulated cycles of
+// Baseline, PB-SW, and COBRA at N ∈ {1,2,4,8,16} cores. "vs-1core" is
+// the cycle ratio over the same scheme's single-core run (parallel
+// scaling), and "DRAM-bytes" the machine-wide traffic (additive across
+// cores, so constant traffic under sharding means no duplication
+// overhead).
+func FigScaling(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "Scaling",
+		Title:  "Thread scaling: simulated cycles vs core count",
+		Header: []string{"app", "input", "scheme", "cores", "cycles", "vs-1core", "DRAM-bytes"},
+	}
+	type cellID struct{ pair, scheme, core int }
+	var cells []cellID
+	for p := range scalingPairs {
+		for s := range scalingSchemes {
+			for c := range CoreSweep {
+				cells = append(cells, cellID{p, s, c})
+			}
+		}
+	}
+	ms, err := mapCells(o, len(cells), func(i int) (sim.Metrics, error) {
+		c := cells[i]
+		p := scalingPairs[c.pair]
+		sc := scalingSchemes[c.scheme]
+		arch := o.Arch.WithCores(CoreSweep[c.core])
+		key := CellKey{
+			Figure: "Scaling", App: p.App, Input: p.Input,
+			Scheme: string(sc.Scheme), Bins: sc.Bins,
+			Cores: CoreSweep[c.core], Arch: ArchFingerprint(arch),
+		}
+		return o.journaled(key, func() (sim.Metrics, error) {
+			app, err := BuildApp(p.App, p.Input, o.Scale, o.Seed)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			return RunScheme(app, sc.Scheme, sc.Bins, arch)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		m := ms[i]
+		base := ms[(c.pair*len(scalingSchemes)+c.scheme)*len(CoreSweep)] // N=1 cell of this (pair, scheme)
+		p := scalingPairs[c.pair]
+		t.AddRow(p.App, p.Input, string(scalingSchemes[c.scheme].Scheme),
+			fmt.Sprintf("%d", CoreSweep[c.core]), fe(m.Cycles), fx(base.Cycles/m.Cycles),
+			fmt.Sprintf("%d", m.DRAM.Bytes()))
+	}
+	t.Notes = append(t.Notes,
+		"N=1 is the legacy single-core model (byte-identical to the pre-multi-core simulator)",
+		"merged cycles are the slowest core's clock; sub-linear scaling reflects shard imbalance, not sync overhead")
+	return t, nil
+}

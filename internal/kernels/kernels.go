@@ -41,6 +41,15 @@ func (a *degreeApplier) Apply(key uint32, val uint64) {
 	a.cnt[key] += uint32(val)
 }
 
+// Shard returns a per-core view issuing ops on m while sharing the
+// functional counter array (sharded runs partition the key range, so
+// views write disjoint elements).
+func (a *degreeApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
+}
+
 // DegreeCount builds the Degree-Count app from an edge list: the first
 // dominant kernel of Edgelist-to-CSR conversion. Commutative increments
 // with a 4 B tuple (the index alone).
@@ -93,6 +102,15 @@ func (a *neighPopApplier) Apply(key uint32, val uint64) {
 	a.m.B.Store(curAddr)                         // offsets[src]++
 	a.neighs[off] = uint32(val)
 	a.cursor[key] = off + 1
+}
+
+// Shard returns a per-core view sharing the cursor and neighbor arrays
+// (key-partitioned: each cursor, and the CSR segment it walks, belongs
+// to exactly one core).
+func (a *neighPopApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
 }
 
 // NeighborPopulate builds Algorithm 1's kernel: populate the CSR
@@ -150,6 +168,13 @@ func (a *pagerankApplier) Apply(key uint32, val uint64) {
 	a.m.B.Load(addr) // incoming[dst] += contrib
 	a.m.B.Store(addr)
 	a.sums[key] += float64FromBits(val)
+}
+
+// Shard returns a per-core view sharing the sums array (key-partitioned).
+func (a *pagerankApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
 }
 
 // PageRank builds one push iteration of GAP-style PageRank on g
@@ -220,6 +245,14 @@ func (a *radiiApplier) Apply(key uint32, val uint64) {
 			a.radii[key] = a.round
 		}
 	}
+}
+
+// Shard returns a per-core view sharing the mask and radii arrays
+// (key-partitioned).
+func (a *radiiApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
 }
 
 // Radii builds one sampled pull iteration of Ligra-style Radii
@@ -332,6 +365,14 @@ func (a *isortApplier) Apply(key uint32, val uint64) {
 	a.cursor[key] = off + 1
 }
 
+// Shard returns a per-core view sharing the cursor and output arrays
+// (key-partitioned: each key's output segment has one owner).
+func (a *isortApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
+}
+
 // IntSort builds the counting-sort scatter over n random keys with the
 // given maximum key value (the paper sorts 256 M keys with varying max
 // key). Non-commutative (stability through cursors); 4 B tuples.
@@ -401,6 +442,13 @@ func (a *spmvApplier) Apply(key uint32, val uint64) {
 	a.y[key] += float64FromBits(val)
 }
 
+// Shard returns a per-core view sharing the y vector (key-partitioned).
+func (a *spmvApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
+}
+
 // SpMV builds the scatter-form sparse matrix-vector product y += Aᵀ·x
 // (HPCG class). Commutative float adds; 16 B tuples (col, product).
 func SpMV(a *sparse.Matrix, inputName string) *sim.App {
@@ -462,6 +510,14 @@ func (a *transposeApplier) Apply(key uint32, val uint64) {
 	a.m.B.Store(curAddr)
 	a.colIdx[p] = uint32(val)
 	a.cursor[key] = p + 1
+}
+
+// Shard returns a per-core view sharing the cursor and column arrays
+// (key-partitioned: each destination column has one owner).
+func (a *transposeApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
 }
 
 // Transpose builds the sparse transpose kernel (SuiteSparse cs_transpose
@@ -534,6 +590,14 @@ func (a *pinvApplier) Apply(key uint32, val uint64) {
 	// Accumulate has no temporal reuse to harvest (the §VII-A anomaly).
 	a.m.B.Store(a.outR.Addr(uint64(key) * 4))
 	a.out[key] = uint32(val)
+}
+
+// Shard returns a per-core view sharing the output permutation
+// (key-partitioned: each key is written exactly once by its owner).
+func (a *pinvApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
 }
 
 // PINV builds the permutation-inverse kernel (SuiteSparse cs_pinv).

@@ -11,6 +11,7 @@ package sim
 // no clock reads, no allocations, no metric lookups.
 
 import (
+	"strconv"
 	"time"
 
 	"cobra/internal/obsv"
@@ -64,6 +65,24 @@ func (ro runObs) phase(name string) obsv.Timer {
 		return obsv.Timer{}
 	}
 	return ro.reg.Timer(name)
+}
+
+// cores records the shard width of a multi-core run.
+func (ro runObs) cores(n int) {
+	if ro.reg == nil {
+		return
+	}
+	ro.reg.Gauge("cores").Set(float64(n))
+}
+
+// corePhase starts a per-core wall-clock timer for one shard's phase
+// ("core3.binning.wall"). Timers on distinct cores run concurrently;
+// the registry is lock-free, so this is safe from the shard goroutines.
+func (ro runObs) corePhase(c int, name string) obsv.Timer {
+	if ro.reg == nil {
+		return obsv.Timer{}
+	}
+	return ro.reg.Scope("core" + strconv.Itoa(c)).Timer(name)
 }
 
 // end closes the run: whole-run wall histogram plus the event-rate

@@ -1,0 +1,149 @@
+package sim
+
+// Metamorphic laws of the per-core metrics reduction (DESIGN §9).
+// These tests build synthetic per-core parts with known values, so
+// every law is checked exactly: cycles fold by max, work counters and
+// per-phase memory fold by sum, rates are re-derived from summed raw
+// counts (never averaged), and the whole reduction is invariant under
+// core permutation. A timing-model change can shift what the per-core
+// parts contain; it must never change how they combine.
+
+import (
+	"math"
+	"testing"
+
+	"cobra/internal/cpu"
+)
+
+// mcPart builds a distinguishable synthetic per-core Metrics. Every
+// field is a distinct function of i so a mis-folded field can't hide
+// behind a coincidence.
+func mcPart(i int) Metrics {
+	f := float64(i + 1)
+	u := uint64(i + 1)
+	return Metrics{
+		Cycles:      1000 * f,
+		InitCycles:  10 * f,
+		BinCycles:   100 * f,
+		AccumCycles: 500 * f,
+		Ctr:         cpu.Counters{Instructions: 1000 * u, Loads: 300 * u, Stores: 200 * u, BinUpdates: 40 * u},
+		BinCtr:      cpu.Counters{Instructions: 400 * u, BinUpdates: 40 * u},
+		AccumCtr:    cpu.Counters{Instructions: 600 * u},
+		L1Misses:    50 * u, L2Misses: 20 * u, LLCMisses: 10 * u,
+		LLCAccesses:  30 * u,
+		BinMem:       PhaseMem{L1Misses: 5 * u, LLCMisses: 2 * u, DRAMReadLines: 7 * u, DRAMWriteLines: 3 * u},
+		AccumMem:     PhaseMem{L1Misses: 4 * u, LLCMisses: 1 * u, DRAMReadLines: 6 * u, DRAMWriteLines: 2 * u},
+		NumBins:      64,
+		EvictStalls:  5 * f,
+		CBufMissRate: 0.1 * f,
+		Cores:        1,
+	}
+}
+
+func TestMergeCyclesAreMaxima(t *testing.T) {
+	parts := []Metrics{mcPart(2), mcPart(0), mcPart(1)}
+	m := MergeMetrics(parts)
+	// The slowest core (i=2) dominates every cycle field.
+	if m.Cycles != 3000 || m.InitCycles != 30 || m.BinCycles != 300 || m.AccumCycles != 1500 {
+		t.Fatalf("merged cycles not per-phase maxima: %+v", m)
+	}
+	if m.Cores != 3 {
+		t.Fatalf("merged Cores = %d, want 3", m.Cores)
+	}
+}
+
+func TestMergeConservesWork(t *testing.T) {
+	parts := []Metrics{mcPart(0), mcPart(1), mcPart(2)}
+	m := MergeMetrics(parts)
+
+	// Event counters and DRAM traffic are machine-wide work: sums.
+	var wantInstr, wantL1 uint64
+	var wantBinMem, wantAccumMem PhaseMem
+	for _, p := range parts {
+		wantInstr += p.Ctr.Instructions
+		wantL1 += p.L1Misses
+		wantBinMem = wantBinMem.Sum(p.BinMem)
+		wantAccumMem = wantAccumMem.Sum(p.AccumMem)
+	}
+	if m.Ctr.Instructions != wantInstr {
+		t.Fatalf("instructions = %d, want %d", m.Ctr.Instructions, wantInstr)
+	}
+	if m.L1Misses != wantL1 {
+		t.Fatalf("L1 misses = %d, want %d", m.L1Misses, wantL1)
+	}
+	// Per-core PhaseMem conserves under the merge: the merged phase
+	// snapshots are exactly the field-wise sums, and phase DRAM bytes
+	// stay additive.
+	if m.BinMem != wantBinMem || m.AccumMem != wantAccumMem {
+		t.Fatalf("phase mem not conserved:\nbin %+v want %+v\naccum %+v want %+v",
+			m.BinMem, wantBinMem, m.AccumMem, wantAccumMem)
+	}
+	if got := m.BinMem.DRAMBytes(); got != parts[0].BinMem.DRAMBytes()+parts[1].BinMem.DRAMBytes()+parts[2].BinMem.DRAMBytes() {
+		t.Fatalf("phase DRAM bytes not additive: %d", got)
+	}
+}
+
+func TestMergeRederivesRates(t *testing.T) {
+	parts := []Metrics{mcPart(0), mcPart(1), mcPart(2)}
+	m := MergeMetrics(parts)
+
+	// LLCMissRate from summed counts: (10+20+30)/(30+60+90).
+	if want := float64(60) / float64(180); m.LLCMissRate != want {
+		t.Fatalf("LLC miss rate = %v, want %v", m.LLCMissRate, want)
+	}
+	// EvictStallFrac over summed per-core binning cycles, not the merged
+	// maximum: (5+10+15)/(100+200+300).
+	if want := 30.0 / 600.0; m.EvictStallFrac != want {
+		t.Fatalf("evict stall frac = %v, want %v", m.EvictStallFrac, want)
+	}
+	// CBufMissRate weighted by per-core binupdate counts:
+	// (0.1*40 + 0.2*80 + 0.3*120) / 240.
+	if want := (0.1*40 + 0.2*80 + 0.3*120) / 240; math.Abs(m.CBufMissRate-want) > 1e-12 {
+		t.Fatalf("cbuf miss rate = %v, want %v", m.CBufMissRate, want)
+	}
+}
+
+func TestMergePermutationInvariant(t *testing.T) {
+	// Core index must not matter: max and sum are commutative, and the
+	// weighted rates renormalize identically. (The variadic Merge sugar
+	// must agree with the slice form.)
+	a := MergeMetrics([]Metrics{mcPart(0), mcPart(1), mcPart(2)})
+	b := mcPart(2).Merge(mcPart(0), mcPart(1))
+	if a != b {
+		t.Fatalf("merge not permutation-invariant:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	// A single part passes through unchanged (Cores defaulted to 1), so
+	// merging is the identity on single-core runs — the structural half
+	// of the N=1 byte-identity guarantee.
+	p := mcPart(0)
+	p.Cores = 0
+	got := MergeMetrics([]Metrics{p})
+	p.Cores = 1
+	if got != p {
+		t.Fatalf("single-part merge not identity:\n%+v\n%+v", got, p)
+	}
+	if z := MergeMetrics(nil); z != (Metrics{}) {
+		t.Fatalf("empty merge = %+v, want zero", z)
+	}
+	// Parts with unset Cores still count as one core each.
+	q := mcPart(1)
+	q.Cores = 0
+	if m := MergeMetrics([]Metrics{p, q}); m.Cores != 2 {
+		t.Fatalf("unset-core parts merged to Cores=%d, want 2", m.Cores)
+	}
+}
+
+func TestMergeSpeedupSane(t *testing.T) {
+	// Merged metrics stay usable as Speedup numerator/denominator: a
+	// merged N-core run against a slower single-core run yields a
+	// finite speedup > 1.
+	single := mcPart(5)
+	merged := MergeMetrics([]Metrics{mcPart(0), mcPart(1)})
+	sp := merged.Speedup(single)
+	if sp <= 1 || math.IsInf(sp, 0) || math.IsNaN(sp) {
+		t.Fatalf("speedup = %v, want finite > 1", sp)
+	}
+}

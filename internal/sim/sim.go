@@ -23,6 +23,15 @@ type Arch struct {
 	Mem mem.Config
 	CPU cpu.Config
 
+	// NumCores is the number of simulated cores. 0 and 1 both select
+	// the legacy single-core model (one representative core owning all
+	// the work), whose outputs are byte-identical to the pre-multi-core
+	// simulator. Values > 1 shard every scheme across NumCores per-core
+	// machines — each with its own L1/L2, OpBuf pipeline, and private
+	// NUCA LLC slice — and merge per-core Metrics via MergeMetrics.
+	// See DESIGN.md §9 for the shard/merge model.
+	NumCores int
+
 	// scalarRefs forces runs built from this Arch through the scalar
 	// per-reference oracle path instead of the batched pipeline. Both
 	// paths must produce bit-identical Metrics; the differential tests
@@ -30,9 +39,33 @@ type Arch struct {
 	scalarRefs bool
 }
 
-// DefaultArch mirrors Table II.
+// DefaultMultiCores is the paper's evaluated machine width (Table II:
+// a 16-core OoO CMP), used when a caller asks for "multi-core" without
+// naming a count.
+const DefaultMultiCores = 16
+
+// DefaultArch mirrors Table II's per-core parameters on the legacy
+// single-core model.
 func DefaultArch() Arch {
 	return Arch{Mem: mem.DefaultConfig(), CPU: cpu.DefaultConfig()}
+}
+
+// WithCores returns a copy of a simulating n cores (n <= 0 selects
+// DefaultMultiCores, the paper's 16).
+func (a Arch) WithCores(n int) Arch {
+	if n <= 0 {
+		n = DefaultMultiCores
+	}
+	a.NumCores = n
+	return a
+}
+
+// Cores resolves the configured core count (0 means 1).
+func (a Arch) Cores() int {
+	if a.NumCores <= 1 {
+		return 1
+	}
+	return a.NumCores
 }
 
 // WithScalarRefs returns a copy of a whose machines execute every
@@ -129,6 +162,18 @@ type Applier interface {
 	Apply(key uint32, val uint64)
 }
 
+// ShardApplier is an Applier that supports multi-core sharding: Shard
+// returns a view bound to machine m that SHARES the receiver's
+// functional state (the real data slices) while issuing its machine
+// ops on m. Sharded runs partition the key range across cores, so
+// per-core views touch disjoint slice elements and the shared arrays
+// end up bitwise identical to a single-core run. Apps whose applier
+// does not implement this cannot run with Arch.NumCores > 1.
+type ShardApplier interface {
+	Applier
+	Shard(m *Mach) Applier
+}
+
 // Validate sanity-checks an app definition.
 func (a *App) Validate() error {
 	if a.NumKeys <= 0 || a.NumUpdates <= 0 {
@@ -172,8 +217,15 @@ type Metrics struct {
 	AccumCtr cpu.Counters
 
 	L1Misses, L2Misses, LLCMisses uint64
-	LLCMissRate                   float64
-	DRAM                          mem.Traffic
+	// LLCAccesses carries the LLC demand-access count so LLCMissRate
+	// can be re-derived exactly when per-core metrics are merged.
+	LLCAccesses uint64
+	LLCMissRate float64
+	DRAM        mem.Traffic
+
+	// Cores is the number of simulated cores this Metrics aggregates
+	// (1 for the single-core model and for each per-core shard).
+	Cores int
 
 	// Per-phase memory behaviour (Init excluded from Bin/Accum, so
 	// Figure 4b and Figure 14 compare the phases the paper compares).
@@ -242,9 +294,13 @@ func (m Metrics) Speedup(base Metrics) float64 {
 func (m *Metrics) finish(mach *Mach) {
 	m.Ctr = mach.CPU.Ctr
 	m.L1Misses, m.L2Misses, m.LLCMisses = mach.H.MissSummary()
+	m.LLCAccesses = mach.H.LLCc.Stats.Accesses()
 	m.LLCMissRate = mach.H.LLCc.Stats.MissRate()
 	m.DRAM = mach.H.DRAMTraffic
 	m.Cycles = mach.CPU.Cycles()
+	if m.Cores == 0 {
+		m.Cores = 1
+	}
 }
 
 // branch PCs used by the harness (arbitrary distinct values).
@@ -259,6 +315,9 @@ const (
 func RunBaseline(app *App, arch Arch) (Metrics, error) {
 	if err := app.Validate(); err != nil {
 		return Metrics{}, err
+	}
+	if arch.Cores() > 1 {
+		return runBaselineMC(app, arch)
 	}
 	ro := beginRunObs(SchemeBaseline, app)
 	defer ro.end()
@@ -350,6 +409,9 @@ func runInitCount(mach *Mach, app *App, input Region, cntRegion Region, shift ui
 func RunPBSW(app *App, numBins int, arch Arch) (Metrics, error) {
 	if err := app.Validate(); err != nil {
 		return Metrics{}, err
+	}
+	if arch.Cores() > 1 {
+		return runPBSWMC(app, numBins, arch)
 	}
 	ro := beginRunObs(SchemePBSW, app)
 	defer ro.end()
@@ -500,6 +562,9 @@ func RunCOBRA(app *App, opt CobraOpt, arch Arch) (Metrics, error) {
 	if err := app.Validate(); err != nil {
 		return Metrics{}, err
 	}
+	if arch.Cores() > 1 {
+		return runCOBRAMC(app, opt, arch)
+	}
 	mach := NewMach(arch)
 	applier := app.NewApplier(mach)
 	input := mach.Alloc(uint64(app.NumUpdates) * uint64(app.StreamBytes))
@@ -642,6 +707,9 @@ func RunPHI(app *App, numBins int, arch Arch) (Metrics, error) {
 	}
 	if !app.Commutative || app.Reduce == nil {
 		return Metrics{}, fmt.Errorf("sim: PHI is inapplicable to %s (§III-B: updates must coalesce losslessly)", app.Name)
+	}
+	if arch.Cores() > 1 {
+		return runPHIMC(app, numBins, arch)
 	}
 	ro := beginRunObs(SchemePHI, app)
 	defer ro.end()

@@ -1,0 +1,107 @@
+package simtest_test
+
+// Core-count conformance: the sharded multi-core model (sim
+// multicore.go) must be a functional no-op relative to the single-core
+// oracle. Every scheme family runs at NumCores ∈ {1, 3, 16} — 3 is
+// deliberately non-power-of-two, so uneven shard ranges and the
+// ceil-based owner split are on the tested path — and the functional
+// output must be bitwise invariant across core counts and equal to the
+// direct-replay oracle.
+
+import (
+	"fmt"
+	"testing"
+
+	"cobra/internal/sim"
+	"cobra/internal/simtest"
+)
+
+// mcCoreCounts is the conformance core-count axis.
+var mcCoreCounts = []int{1, 3, 16}
+
+// mcSchemes restricts the differential matrix for cores>1: one PB-SW
+// bin count and one PHI bin count are enough, since the scheme
+// internals don't change with the bin axis and the full bin matrix is
+// already covered single-core by TestSchemesFunctionallyEquivalent.
+func mcSchemes() []schemeRun {
+	return []schemeRun{
+		{"Baseline", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunBaseline(app, arch)
+		}},
+		{"PB-SW[256]", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunPBSW(app, 256, arch)
+		}},
+		{"COBRA", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunCOBRA(app, sim.CobraOpt{}, arch)
+		}},
+		{"COBRA-COMM", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunCOBRA(app, sim.CobraOpt{Coalesce: true}, arch)
+		}},
+		{"PHI[64]", func(app *sim.App, arch sim.Arch) (sim.Metrics, error) {
+			return sim.RunPHI(app, 64, arch)
+		}},
+	}
+}
+
+func TestSchemesCoreCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-core conformance skipped in -short mode")
+	}
+	for _, dist := range simtest.Dists() {
+		dist := dist
+		t.Run(dist.String(), func(t *testing.T) {
+			const numKeys = 1 << 13
+			app, counts := simtest.CountAppDist(dist, numKeys, 4*numKeys, 42)
+			want := simtest.RefCounts(app)
+			for _, s := range mcSchemes() {
+				// singleCore holds the N=1 output; every sharded run must
+				// reproduce it bitwise, not just match the oracle.
+				var singleCore []uint32
+				for _, cores := range mcCoreCounts {
+					label := fmt.Sprintf("%s/cores=%d", s.name, cores)
+					m, err := s.run(app, sim.DefaultArch().WithCores(cores))
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if m.Cycles <= 0 {
+						t.Fatalf("%s: no cycles simulated", label)
+					}
+					if m.Cores != cores {
+						t.Fatalf("%s: metrics report %d cores", label, m.Cores)
+					}
+					simtest.CheckCounts(t, label, *counts, want)
+					if cores == 1 {
+						singleCore = append([]uint32(nil), (*counts)...)
+					} else {
+						simtest.CheckCounts(t, label+" vs single-core", *counts, singleCore)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiCoreMetricsSane pins coarse metric invariants of sharded
+// runs: merged traffic is additive over per-core phases (so it can't
+// collapse to one core's view), and the merged clock is bounded by the
+// single-core clock — a shard can never be slower than the whole.
+func TestMultiCoreMetricsSane(t *testing.T) {
+	app, _ := simtest.CountApp(1<<13, 1<<15, 7)
+	m1, err := sim.RunPBSW(app, 256, sim.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := sim.RunPBSW(app, 256, sim.DefaultArch().WithCores(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Cycles <= 0 || m4.Cycles > m1.Cycles {
+		t.Fatalf("4-core cycles %v vs single-core %v", m4.Cycles, m1.Cycles)
+	}
+	if sp := m4.Speedup(m1); sp <= 1 {
+		t.Fatalf("4-core speedup over single-core = %v, want > 1", sp)
+	}
+	if m4.Ctr.Instructions == 0 || m4.DRAM.ReadLines == 0 {
+		t.Fatalf("merged counters empty: %+v", m4.Ctr)
+	}
+}

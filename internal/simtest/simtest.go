@@ -134,6 +134,15 @@ func (a *countApplier) Apply(key uint32, val uint64) {
 	a.c[key] += uint32(val)
 }
 
+// Shard returns a per-core view of the applier sharing the counter
+// array, so sharded runs mutate the same observable functional state
+// (key-partitioned: views write disjoint elements).
+func (a *countApplier) Shard(m *sim.Mach) sim.Applier {
+	s := *a
+	s.m = m
+	return &s
+}
+
 // RefCounts computes the functional oracle: a direct replay of the
 // update stream with no machine, no bins, no reordering.
 func RefCounts(app *sim.App) []uint32 {

@@ -38,6 +38,10 @@ type JobSpec struct {
 	// are part of the cache fingerprint, so NUCA and non-NUCA results
 	// never alias.
 	NUCA bool `json:"nuca,omitempty"`
+	// Cores is the simulated core count (0 and 1 both select the
+	// single-core model; >1 runs the sharded multi-core model). Bounded
+	// by the server's MaxCores.
+	Cores int `json:"cores,omitempty"`
 	// TimeoutMS caps this job's wall-clock; 0 uses the server default.
 	// Clamped to the server maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -81,6 +85,15 @@ func (sp *JobSpec) normalize(cfg Config) ([]sim.Scheme, error) {
 	}
 	if sp.Bins < 0 {
 		return nil, fmt.Errorf("srv: negative bin count %d", sp.Bins)
+	}
+	if sp.Cores < 0 {
+		return nil, fmt.Errorf("srv: negative core count %d", sp.Cores)
+	}
+	if sp.Cores == 0 {
+		sp.Cores = 1
+	}
+	if sp.Cores > cfg.MaxCores {
+		return nil, fmt.Errorf("srv: core count %d exceeds server limit %d", sp.Cores, cfg.MaxCores)
 	}
 	if sp.TimeoutMS < 0 {
 		return nil, fmt.Errorf("srv: negative timeout_ms %d", sp.TimeoutMS)

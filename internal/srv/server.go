@@ -39,6 +39,8 @@ type Config struct {
 	DefaultScale int
 	// MaxScale caps job scale (0: exp.MaxScale).
 	MaxScale int
+	// MaxCores caps the per-job simulated core count (<= 0: 64).
+	MaxCores int
 	// DefaultJobTimeout bounds jobs that do not ask for a timeout
 	// (<= 0: 5m); MaxJobTimeout clamps requested ones (<= 0: 30m).
 	DefaultJobTimeout time.Duration
@@ -69,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScale <= 0 || c.MaxScale > exp.MaxScale {
 		c.MaxScale = exp.MaxScale
+	}
+	if c.MaxCores <= 0 {
+		c.MaxCores = 64
 	}
 	if c.DefaultJobTimeout <= 0 {
 		c.DefaultJobTimeout = 5 * time.Minute
@@ -282,6 +287,13 @@ func (s *Server) runJob(job *Job) {
 		arch.Mem.NUCA = mem.DefaultNUCA()
 	}
 	archFP := s.archFP[job.spec.NUCA]
+	if job.spec.Cores > 1 {
+		// Multi-core jobs are the cold path: the sharded arch differs per
+		// core count, so its fingerprint is hashed here instead of being
+		// served from the precomputed single-core pair.
+		arch = arch.WithCores(job.spec.Cores)
+		archFP = exp.ArchFingerprint(arch)
+	}
 
 	var hits, misses atomic.Int64
 	// Schemes run serially within the job (workers=1): the service's
@@ -297,6 +309,7 @@ func (s *Server) runJob(job *Job) {
 			Seed:   job.spec.Seed,
 			Scheme: string(scheme),
 			Bins:   job.spec.Bins,
+			Cores:  job.spec.Cores,
 			Arch:   archFP,
 		}
 		t := s.reg.Timer("srv.scheme." + string(scheme) + ".wall")
