@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke chaos-smoke
+.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke chaos-smoke fleet-smoke
 
 all: ci
 
@@ -25,12 +25,13 @@ test:
 # worker pool, single-flight result cache, drain-under-load and
 # faulted-load tests; fault: the lock-free injection registry under
 # concurrent hits; client: retry/breaker state across goroutines;
+# dist: the fleet coordinator's dispatch slots, steal path, and prober;
 # sim/simtest: the multi-core sharded runners' per-phase goroutine
 # gangs and the cross-core conformance oracle).
 # (-timeout 30m: exp's race pass alone runs >10m on a 2-core box, past
 # go test's default per-binary timeout.)
 race:
-	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client ./internal/sim ./internal/simtest
+	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client ./internal/dist ./internal/sim ./internal/simtest
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.
@@ -62,7 +63,16 @@ serve-smoke:
 chaos-smoke:
 	$(GO) test -run 'TestChaos|TestSlowloris' -v ./cmd/figures ./cmd/cobrad
 
-ci: vet build race coverage fuzz-smoke serve-smoke chaos-smoke bench-compare
+# Distributed-campaign smoke: re-executes the figures test binary as
+# real cobrad worker processes (one throttled to a single in-flight job
+# to provoke 429 redistribution), scatters a campaign across them, and
+# diffs the gathered artifact against a serial local run — including
+# with a worker SIGKILLed mid-campaign and with the coordinator itself
+# killed and resumed from its fleet journal.
+fleet-smoke:
+	$(GO) test -run 'TestFleet' -v ./cmd/figures
+
+ci: vet build race coverage fuzz-smoke serve-smoke chaos-smoke fleet-smoke bench-compare
 
 # Hot-path microbenchmarks (packed cache metadata; scalar-vs-batched
 # hierarchy pipeline; PB binning).

@@ -10,6 +10,13 @@
 //	cobractl get j-000001
 //	cobractl wait j-000001
 //	cobractl run -app PageRank -input URAND -schemes COBRA   # submit + wait + resubmit-on-loss
+//	cobractl jobs                                            # queue/running/done counts + recent jobs
+//	cobractl fleet run -addrs host1:8372,host2:8372 -app PageRank -input URAND -schemes COBRA
+//
+// fleet run scatters one cell per scheme across a set of cobrad
+// workers through the internal/dist coordinator — the same dispatch,
+// steal, and local-fallback machinery `figures -fleet` uses — and an
+// optional -journal makes interrupted fleet runs resumable.
 //
 // run survives a cobrad restart mid-job: a vanished job id (the
 // server's job table is in-memory) is resubmitted, and the server's
@@ -33,6 +40,10 @@ import (
 	"time"
 
 	"cobra/internal/client"
+	"cobra/internal/dist"
+	"cobra/internal/exp"
+	"cobra/internal/mem"
+	"cobra/internal/sim"
 	"cobra/internal/srv"
 )
 
@@ -52,7 +63,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		jsonOut = fs.Bool("json", false, "print the raw job JSON instead of a summary")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: cobractl [flags] <health|submit|get|wait|run> [args]")
+		fmt.Fprintln(stderr, "usage: cobractl [flags] <health|submit|get|wait|run|jobs|fleet> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -127,6 +138,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		return printJob(stdout, v, *jsonOut)
 
+	case "jobs":
+		sum, err := c.Jobs(ctx)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(sum)
+			return 0
+		}
+		fmt.Fprintf(stdout, "queued=%d running=%d done=%d failed=%d canceled=%d workers=%d queue_cap=%d cache=%d\n",
+			sum.Queued, sum.Running, sum.Done, sum.Failed, sum.Canceled, sum.Workers, sum.QueueCap, sum.CacheSize)
+		for _, v := range sum.Recent {
+			fmt.Fprintf(stdout, "%s\t%s\t%s/%s scale=%d schemes=%s\n",
+				v.ID, v.State, v.Spec.App, v.Spec.Input, v.Spec.Scale, strings.Join(v.Spec.Schemes, ","))
+		}
+		return 0
+
+	case "fleet":
+		if len(rest) == 0 || rest[0] != "run" {
+			fmt.Fprintln(stderr, "cobractl: fleet supports exactly one subcommand: run")
+			return 2
+		}
+		return fleetRun(ctx, rest[1:], stdout, stderr, *jsonOut)
+
 	default:
 		fmt.Fprintf(stderr, "cobractl: unknown command %q\n", cmd)
 		fs.Usage()
@@ -171,6 +209,120 @@ func parseSpec(args []string, stderr io.Writer) (srv.JobSpec, int) {
 		NUCA:      *nuca,
 		TimeoutMS: jobTO.Milliseconds(),
 	}, 0
+}
+
+// fleetRun scatters one cell per scheme across a worker fleet via the
+// dist coordinator. A cell no worker can take (fleet down) runs
+// locally — same metrics either way, by the coordinator's
+// byte-identity contract.
+func fleetRun(ctx context.Context, args []string, stdout, stderr io.Writer, jsonOut bool) int {
+	fs := flag.NewFlagSet("cobractl fleet run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addrs    = fs.String("addrs", "", "comma-separated cobrad worker URLs (required)")
+		app      = fs.String("app", "", "application (required)")
+		input    = fs.String("input", "", "input distribution (required)")
+		scale    = fs.Int("scale", 16, "input scale")
+		seed     = fs.Uint64("seed", 42, "generator seed")
+		schemes  = fs.String("schemes", "", "comma-separated scheme list (required)")
+		bins     = fs.Int("bins", 0, "bin count (0 = sweep)")
+		cores    = fs.Int("cores", 1, "simulated core count")
+		nuca     = fs.Bool("nuca", false, "enable the NUCA latency model")
+		journal  = fs.String("journal", "", "fleet journal (fsync'd JSONL): gathered cells are recorded and replayed on rerun")
+		inflight = fs.Int("inflight", 4, "max in-flight cells per worker")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addrs == "" || *app == "" || *input == "" || *schemes == "" {
+		fmt.Fprintln(stderr, "cobractl: fleet run requires -addrs, -app, -input and -schemes")
+		return 2
+	}
+	var list []string
+	for _, s := range strings.Split(*schemes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			list = append(list, s)
+		}
+	}
+
+	cfg := dist.Config{Addrs: strings.Split(*addrs, ","), MaxInflight: *inflight}
+	if *journal != "" {
+		j, err := exp.OpenJournal(*journal, true)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+	co, err := dist.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "cobractl:", err)
+		return 2
+	}
+	defer co.Close()
+	fmt.Fprintf(stderr, "cobractl: fleet: %d/%d workers healthy\n", co.Probe(ctx), len(co.Nodes()))
+
+	// Local-fallback architecture, built in the worker's own knob order
+	// so a declined cell still lands on identical metrics.
+	arch := sim.DefaultArch()
+	if *nuca {
+		arch.Mem.NUCA = mem.DefaultNUCA()
+	}
+	if *cores > 1 {
+		arch = arch.WithCores(*cores)
+	}
+
+	type cellResult struct {
+		Scheme  string      `json:"scheme"`
+		Remote  bool        `json:"remote"`
+		Metrics sim.Metrics `json:"metrics"`
+	}
+	var results []cellResult
+	for _, name := range list {
+		k := dist.CellKey(*app, *input, *scale, *seed, name, *bins, *cores, *nuca)
+		m, remote, err := co.RunCell(ctx, k)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return 1
+		}
+		if !remote {
+			fmt.Fprintf(stderr, "cobractl: fleet: cell %s declined — simulating locally\n", name)
+			appl, err := exp.BuildApp(*app, *input, *scale, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "cobractl:", err)
+				return 1
+			}
+			scheme, err := exp.ParseScheme(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "cobractl:", err)
+				return 1
+			}
+			if m, err = exp.RunScheme(appl, scheme, *bins, arch); err != nil {
+				fmt.Fprintln(stderr, "cobractl:", err)
+				return 1
+			}
+		}
+		results = append(results, cellResult{Scheme: name, Remote: remote, Metrics: m})
+	}
+
+	fi := co.Snapshot()
+	fmt.Fprintf(stderr, "cobractl: fleet: %d dispatched, %d completed, %d stolen, %d failed, %d gathered\n",
+		fi.Dispatched, fi.Completed, fi.Stolen, fi.Failed, fi.Gathered)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(results)
+		return 0
+	}
+	for _, r := range results {
+		src := "fleet"
+		if !r.Remote {
+			src = "local"
+		}
+		fmt.Fprintf(stdout, "%s\tcycles=%.0f\t(%s)\n", r.Scheme, r.Metrics.Cycles, src)
+	}
+	return 0
 }
 
 // printJob renders one job view: full JSON with -json, otherwise a

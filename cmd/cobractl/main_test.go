@@ -132,3 +132,55 @@ func TestJobFailureExitCode(t *testing.T) {
 		t.Fatalf("stderr does not name the failed job: %q", errOut)
 	}
 }
+
+func TestJobsList(t *testing.T) {
+	url := startServer(t)
+	code, _, errOut := runCtl(t, "-addr", url, "-poll", "5ms", "run",
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline")
+	if code != 0 {
+		t.Fatalf("run: code=%d err=%q", code, errOut)
+	}
+	code, out, errOut := runCtl(t, "-addr", url, "jobs")
+	if code != 0 {
+		t.Fatalf("jobs: code=%d err=%q", code, errOut)
+	}
+	if !strings.Contains(out, "done=1") {
+		t.Fatalf("summary line missing done count: %q", out)
+	}
+	if !strings.Contains(out, "DegreeCount/URND") {
+		t.Fatalf("recent rows missing the job: %q", out)
+	}
+
+	code, out, _ = runCtl(t, "-addr", url, "-json", "jobs")
+	if code != 0 || !strings.Contains(out, `"done": 1`) {
+		t.Fatalf("json jobs: code=%d out=%q", code, out)
+	}
+}
+
+func TestFleetRun(t *testing.T) {
+	w1, w2 := startServer(t), startServer(t)
+	code, out, errOut := runCtl(t, "fleet", "run",
+		"-addrs", w1+","+w2,
+		"-app", "DegreeCount", "-input", "URND", "-scale", "8", "-schemes", "Baseline,COBRA")
+	if code != 0 {
+		t.Fatalf("fleet run: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "2/2 workers healthy") {
+		t.Fatalf("probe report missing: %q", errOut)
+	}
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "COBRA") || !strings.Contains(out, "(fleet)") {
+		t.Fatalf("fleet results missing: %q", out)
+	}
+	if !strings.Contains(errOut, "2 dispatched, 2 completed") {
+		t.Fatalf("fleet summary missing: %q", errOut)
+	}
+}
+
+func TestFleetRunUsage(t *testing.T) {
+	if code, _, _ := runCtl(t, "fleet"); code != 2 {
+		t.Fatal("fleet without subcommand accepted")
+	}
+	if code, _, _ := runCtl(t, "fleet", "run", "-app", "X"); code != 2 {
+		t.Fatal("fleet run without -addrs accepted")
+	}
+}

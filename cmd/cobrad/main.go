@@ -56,6 +56,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		addrFile     = fs.String("addrfile", "", "write the bound listen address to this file (atomic; for scripts probing an ephemeral port)")
 		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "job worker pool size")
 		queueDepth   = fs.Int("queue", 64, "job queue depth (a full queue answers 429)")
+		maxInflight  = fs.Int("max-inflight", 0, "cap on jobs admitted but not yet settled (queued+running); beyond it submissions answer 429 (0 = no cap)")
 		cachePath    = fs.String("cache", "", "persist the result cache to this JSONL journal (checkpoint format; resumed on restart)")
 		cacheReset   = fs.Bool("cache-reset", false, "truncate an existing -cache file instead of resuming from it")
 		defaultScale = fs.Int("scale", 16, "default input scale for jobs that omit one")
@@ -94,6 +95,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	server, err := srv.New(srv.Config{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
+		MaxInflight:       *maxInflight,
 		DefaultScale:      *defaultScale,
 		MaxScale:          *maxScale,
 		DefaultJobTimeout: *jobTimeout,

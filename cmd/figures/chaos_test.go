@@ -26,6 +26,11 @@ func TestMain(m *testing.M) {
 	if os.Getenv("FIGURES_CHAOS_CHILD") == "1" {
 		os.Exit(run(strings.Fields(os.Getenv("FIGURES_CHAOS_ARGS")), os.Stdout, os.Stderr))
 	}
+	if os.Getenv("FIGURES_FLEET_WORKER") == "1" {
+		// Fleet tests re-execute the binary as a cobrad worker — a
+		// separate process the coordinator can SIGKILL (see fleet_test.go).
+		os.Exit(fleetWorkerMain())
+	}
 	os.Exit(m.Run())
 }
 

@@ -12,6 +12,7 @@
 //	figures -fig 10 -o fig10.txt  # crash-safe artifact (temp+rename)
 //	figures -fig 10 -o fig10.txt -progress -events ev.jsonl  # observability
 //	figures -fig 10 -cpuprofile cpu.pprof   # pprof the campaign
+//	figures -all -fleet host1:8080,host2:8080  # scatter cells across cobrad workers
 //	figures -list
 //
 // Simulation cells within a figure are independent and run on a
@@ -37,6 +38,12 @@
 //     everything needed to diff two runs.
 //   - -cpuprofile/-memprofile/-trace: standard pprof/trace hooks.
 //
+// Distributed campaigns: -fleet host1,host2,... scatters simulation
+// cells across cobrad workers (least-loaded dispatch, bounded
+// in-flight per node, steal-on-failure, local fallback when no worker
+// can take a cell) and gathers results back into the same merge path,
+// so the artifact is byte-identical to a local run. See internal/dist.
+//
 // Fault tolerance:
 //
 //   - First SIGINT/SIGTERM: stop dispatching new cells, drain the ones
@@ -61,9 +68,12 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"cobra/internal/client"
+	"cobra/internal/dist"
 	"cobra/internal/exp"
 	"cobra/internal/fault"
 	"cobra/internal/fsx"
@@ -127,6 +137,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cores       = fs.Int("cores", 1, "simulated core count for every run (1 = legacy single-core model; the scaling figure sweeps its own core axis)")
 		scalarRefs  = fs.Bool("scalarrefs", false, "drive simulations through the scalar per-reference oracle instead of the batched pipeline (byte-identical output, slower; for differential testing)")
 		compactCkpt = fs.Bool("compact-checkpoint", false, "compact the -checkpoint journal (drop superseded duplicates and torn tails), then exit")
+		fleet       = fs.String("fleet", "", "comma-separated cobrad worker URLs: scatter servable cells across the fleet (others still run locally)")
+		fleetMax    = fs.Int("fleet-inflight", 4, "max in-flight cells per fleet worker")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -323,6 +335,44 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		opts.Progress = prog
 	}
 
+	// Fleet mode: scatter servable cells across cobrad workers. The
+	// coordinator plugs in as opts.Remote, downstream of the checkpoint
+	// journal (replays never touch the network) and upstream of the
+	// local simulator (declined cells fall back transparently).
+	var coord *dist.Coordinator
+	if *fleet != "" {
+		var err error
+		coord, err = dist.New(dist.Config{
+			Addrs:       strings.Split(*fleet, ","),
+			MaxInflight: *fleetMax,
+			Client: client.Options{
+				MaxRetries:       3,
+				BaseBackoff:      50 * time.Millisecond,
+				MaxBackoff:       time.Second,
+				BreakerThreshold: 4,
+				BreakerCooldown:  2 * time.Second,
+				PollFloor:        5 * time.Millisecond,
+				PollInterval:     200 * time.Millisecond,
+				Resubmits:        1,
+			},
+			Reg:    reg,
+			Events: events,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 2
+		}
+		defer coord.Close()
+		probeCtx, probeCancel := context.WithTimeout(ctx, 5*time.Second)
+		healthy := coord.Probe(probeCtx)
+		probeCancel()
+		fmt.Fprintf(stderr, "figures: fleet: %d/%d workers healthy\n", healthy, len(coord.Nodes()))
+		if healthy == 0 {
+			fmt.Fprintln(stderr, "figures: fleet: no worker reachable — cells will run locally until one recovers")
+		}
+		opts.Remote = coord
+	}
+
 	man := obsv.NewManifest("figures")
 	man.Scale, man.Seed, man.Parallel = opts.Scale, opts.Seed, exp.Workers(opts.Parallel)
 	man.ArchFingerprint = exp.ArchFingerprint(opts.Arch)
@@ -391,6 +441,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if err := journal.Close(); err != nil && runErr == nil {
 			runErr = fmt.Errorf("closing checkpoint: %w", err)
 		}
+	}
+
+	if coord != nil {
+		fi := coord.Snapshot()
+		man.Fleet = fi
+		fmt.Fprintf(stderr, "figures: fleet: %d cells dispatched, %d completed, %d stolen, %d failed\n",
+			fi.Dispatched, fi.Completed, fi.Stolen, fi.Failed)
 	}
 
 	// Campaign-level derived rates land in the registry before the

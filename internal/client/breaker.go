@@ -25,7 +25,8 @@ type breaker struct {
 	consecutive int
 	open        bool
 	openedAt    time.Time
-	probing     bool // half-open probe in flight
+	probing     bool   // half-open probe in flight
+	opens       uint64 // transitions into the open state (re-opens included)
 }
 
 func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
@@ -76,10 +77,30 @@ func (b *breaker) failure() {
 		// Failed half-open probe: back to open for a fresh cooldown.
 		b.probing = false
 		b.openedAt = b.clock.Now()
+		b.opens++
 		return
 	}
 	if b.consecutive >= b.threshold && !b.open {
 		b.open = true
 		b.openedAt = b.clock.Now()
+		b.opens++
+	}
+}
+
+// state reports the breaker's phase ("closed", "open", "half-open")
+// and how many times it has opened.
+func (b *breaker) state() (string, uint64) {
+	if b.threshold <= 0 {
+		return "closed", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed", b.opens
+	case b.probing:
+		return "half-open", b.opens
+	default:
+		return "open", b.opens
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cobra/internal/srv"
@@ -57,6 +58,11 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// PollInterval spaces Wait's job-status polls (default 250ms).
 	PollInterval time.Duration
+	// PollFloor, when > 0, is Wait's first poll delay: polling starts
+	// there and doubles per poll up to PollInterval, so very fast jobs
+	// are noticed in milliseconds without hammering the server on slow
+	// ones. 0 polls at a flat PollInterval.
+	PollFloor time.Duration
 	// Resubmits bounds Run's whole-job resubmissions after failed or
 	// vanished jobs (default 2; negative disables).
 	Resubmits int
@@ -94,6 +100,23 @@ type Client struct {
 	opts    Options
 	breaker *breaker
 	rng     *jitterRNG
+
+	attempts atomic.Uint64 // individual HTTP attempts
+	retries  atomic.Uint64 // attempts that were retries of an earlier one
+	failures atomic.Uint64 // availability failures (transport errors, 5xx)
+}
+
+// Stats is a point-in-time snapshot of a client's transport health —
+// the per-node view the fleet coordinator surfaces in its manifest.
+type Stats struct {
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	Failures uint64 `json:"failures"`
+	// BreakerState is "closed", "open", or "half-open" (a probe in
+	// flight); BreakerOpens counts every transition into the open
+	// state, failed half-open probes included.
+	BreakerState string `json:"breaker_state"`
+	BreakerOpens uint64 `json:"breaker_opens"`
 }
 
 // New builds a Client for the cobrad server at baseURL (e.g.
@@ -149,6 +172,33 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, "health", http.MethodGet, "/healthz", nil, &out)
 }
 
+// Ready checks /readyz: an error means the server is starting,
+// draining, or unreachable — it should not be handed new work.
+func (c *Client) Ready(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, "ready", http.MethodGet, "/readyz", nil, &out)
+}
+
+// Jobs fetches the server's job-list summary (GET /v1/jobs): state
+// counts, capacity, and recent views.
+func (c *Client) Jobs(ctx context.Context) (srv.JobsSummary, error) {
+	var v srv.JobsSummary
+	err := c.do(ctx, "jobs", http.MethodGet, "/v1/jobs", nil, &v)
+	return v, err
+}
+
+// Stats snapshots the client's transport counters and breaker state.
+func (c *Client) Stats() Stats {
+	state, opens := c.breaker.state()
+	return Stats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Failures:     c.failures.Load(),
+		BreakerState: state,
+		BreakerOpens: opens,
+	}
+}
+
 // Submit posts spec to /v1/jobs and returns the accepted job (202).
 func (c *Client) Submit(ctx context.Context, spec srv.JobSpec) (srv.JobView, error) {
 	var v srv.JobView
@@ -164,10 +214,17 @@ func (c *Client) Get(ctx context.Context, id string) (srv.JobView, error) {
 }
 
 // Wait polls the job until it reaches a terminal state (done, failed,
-// canceled) or ctx expires. A vanished job (404 — the server restarted
-// and lost its in-memory job table) surfaces as a permanent Error with
-// Status 404 so callers like Run can resubmit.
+// canceled) or ctx expires. With Options.PollFloor set, polling starts
+// at the floor and doubles per poll up to PollInterval — fast jobs
+// resolve in milliseconds without hammering the server on slow ones. A
+// vanished job (404 — the server restarted and lost its in-memory job
+// table) surfaces as a permanent Error with Status 404 so callers like
+// Run can resubmit.
 func (c *Client) Wait(ctx context.Context, id string) (srv.JobView, error) {
+	delay := c.opts.PollFloor
+	if delay <= 0 || delay > c.opts.PollInterval {
+		delay = c.opts.PollInterval
+	}
 	for {
 		v, err := c.Get(ctx, id)
 		if err != nil {
@@ -177,8 +234,14 @@ func (c *Client) Wait(ctx context.Context, id string) (srv.JobView, error) {
 		case srv.JobDone, srv.JobFailed, srv.JobCanceled:
 			return v, nil
 		}
-		if err := c.clock.Sleep(ctx, c.opts.PollInterval); err != nil {
+		if err := c.clock.Sleep(ctx, delay); err != nil {
 			return srv.JobView{}, &Error{Op: "wait", Permanent: true, Err: err}
+		}
+		if delay < c.opts.PollInterval {
+			delay *= 2
+			if delay > c.opts.PollInterval {
+				delay = c.opts.PollInterval
+			}
 		}
 	}
 }
@@ -188,8 +251,13 @@ func (c *Client) Wait(ctx context.Context, id string) (srv.JobView, error) {
 // (server restart). Resubmission is idempotent: cells already computed
 // before the failure replay from the server's fingerprint-keyed cache.
 func (c *Client) Run(ctx context.Context, spec srv.JobSpec) (srv.JobView, error) {
+	resubmits := c.opts.Resubmits
+	if resubmits < 0 {
+		// Disabled: one submission, no retries of the whole job.
+		resubmits = 0
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.opts.Resubmits; attempt++ {
+	for attempt := 0; attempt <= resubmits; attempt++ {
 		if attempt > 0 {
 			if err := c.clock.Sleep(ctx, c.backoff(attempt-1, 0)); err != nil {
 				return srv.JobView{}, &Error{Op: "run", Permanent: true, Err: err}
@@ -217,7 +285,7 @@ func (c *Client) Run(ctx context.Context, spec srv.JobSpec) (srv.JobView, error)
 		}
 		lastErr = err
 	}
-	return srv.JobView{}, &Error{Op: "run", Retries: c.opts.Resubmits, Err: lastErr}
+	return srv.JobView{}, &Error{Op: "run", Retries: resubmits, Err: lastErr}
 }
 
 // do runs one logical request with retry, backoff, Retry-After, and
@@ -242,6 +310,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 			return &Error{Op: op, Retries: retries, Err: err}
 		}
 
+		c.attempts.Add(1)
 		status, retryAfter, err := c.once(ctx, method, path, payload, out)
 		switch {
 		case err == nil:
@@ -249,6 +318,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 			return nil
 		case status == 0:
 			// Transport failure: server unreachable, connection reset.
+			c.failures.Add(1)
 			c.breaker.failure()
 			if ctx.Err() != nil {
 				return &Error{Op: op, Permanent: true, Retries: retries, Err: ctx.Err()}
@@ -258,6 +328,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 			// down — not a breaker failure.
 			c.breaker.success()
 		case status >= 500:
+			c.failures.Add(1)
 			c.breaker.failure()
 		default:
 			// 4xx: the request itself is wrong; retrying cannot help.
@@ -273,6 +344,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 			return &Error{Op: op, Permanent: true, Retries: retries, Err: err}
 		}
 		retries++
+		c.retries.Add(1)
 	}
 }
 

@@ -1,0 +1,187 @@
+package client
+
+// Satellite coverage for the fleet-facing client surface: the Wait
+// poll floor, the Stats snapshot, and the breaker's half-open gate
+// under concurrent callers (run under -race in `make race`).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cobra/internal/srv"
+)
+
+// TestWaitPollFloor: with a floor set, Wait's sleeps start at the
+// floor and double per poll up to PollInterval — fast jobs are noticed
+// in milliseconds, slow ones settle to the flat interval.
+func TestWaitPollFloor(t *testing.T) {
+	polls := 0
+	script := &scriptServer{script: []int{200}, bodyFor: func(int) string {
+		state := srv.JobRunning
+		polls++
+		if polls >= 6 {
+			state = srv.JobDone
+		}
+		b, _ := json.Marshal(srv.JobView{ID: "j-000001", State: state})
+		return string(b)
+	}}
+	c, clk := newTestClient(t, script, Options{
+		PollFloor:    10 * time.Millisecond,
+		PollInterval: 160 * time.Millisecond,
+	})
+	v, err := c.Wait(context.Background(), "j-000001")
+	if err != nil || v.State != srv.JobDone {
+		t.Fatalf("wait: %+v %v", v, err)
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond,
+	}
+	got := clk.sleepLog()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("poll sleeps %v, want %v", got, want)
+	}
+}
+
+// TestWaitFloorAboveIntervalFallsBack: a floor wider than the interval
+// is nonsense; Wait polls at the flat interval.
+func TestWaitFloorAboveIntervalFallsBack(t *testing.T) {
+	polls := 0
+	script := &scriptServer{script: []int{200}, bodyFor: func(int) string {
+		state := srv.JobRunning
+		polls++
+		if polls >= 3 {
+			state = srv.JobDone
+		}
+		b, _ := json.Marshal(srv.JobView{ID: "j-000001", State: state})
+		return string(b)
+	}}
+	c, clk := newTestClient(t, script, Options{
+		PollFloor:    time.Second,
+		PollInterval: 50 * time.Millisecond,
+	})
+	if _, err := c.Wait(context.Background(), "j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range clk.sleepLog() {
+		if d != 50*time.Millisecond {
+			t.Fatalf("sleep %v, want flat 50ms", d)
+		}
+	}
+}
+
+// TestStats: attempts/retries/failures and breaker state are
+// observable — the per-node health the fleet coordinator snapshots
+// into the campaign manifest.
+func TestStats(t *testing.T) {
+	script := &scriptServer{script: []int{500, 500, 200}}
+	c, _ := newTestClient(t, script, Options{MaxRetries: 4})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 2 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	if st.BreakerState != "closed" || st.BreakerOpens != 0 {
+		t.Fatalf("breaker should be closed: %+v", st)
+	}
+}
+
+func TestStatsBreakerOpen(t *testing.T) {
+	script := &scriptServer{script: []int{500}}
+	c, _ := newTestClient(t, script, Options{MaxRetries: 2, BreakerThreshold: 3})
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("health against a dead server succeeded")
+	}
+	st := c.Stats()
+	if st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("breaker after threshold failures: %+v", st)
+	}
+	if st.Failures != 3 {
+		t.Fatalf("failures: %+v", st)
+	}
+	// Open breaker refuses locally: attempts must not grow.
+	before := st.Attempts
+	if err := c.Health(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if got := c.Stats().Attempts; got != before {
+		t.Fatalf("open breaker still sent requests: %d -> %d", before, got)
+	}
+}
+
+// TestBreakerHalfOpenConcurrentAllow: after the cooldown, exactly one
+// of many concurrent allow() callers wins the half-open probe slot; a
+// failed probe re-opens for a full cooldown; a successful probe closes
+// the circuit for everyone.
+func TestBreakerHalfOpenConcurrentAllow(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk)
+	for i := 0; i < 3; i++ {
+		b.failure()
+	}
+	if state, opens := b.state(); state != "open" || opens != 1 {
+		t.Fatalf("breaker after threshold: %s/%d", state, opens)
+	}
+
+	admitted := func() int {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		n := 0
+		for i := 0; i < 64; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.allow() == nil {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return n
+	}
+
+	// Cooldown not elapsed: everyone refused.
+	if n := admitted(); n != 0 {
+		t.Fatalf("%d callers admitted before cooldown", n)
+	}
+	// Cooldown elapsed: exactly one probe slot.
+	clk.advance(time.Second)
+	if n := admitted(); n != 1 {
+		t.Fatalf("%d callers admitted in half-open, want exactly 1", n)
+	}
+	if state, _ := b.state(); state != "half-open" {
+		t.Fatalf("state %s, want half-open", state)
+	}
+
+	// Probe fails: re-open for a fresh cooldown, all refused again.
+	b.failure()
+	if state, opens := b.state(); state != "open" || opens != 2 {
+		t.Fatalf("after failed probe: %s/%d", state, opens)
+	}
+	if n := admitted(); n != 0 {
+		t.Fatalf("%d callers admitted right after re-open", n)
+	}
+
+	// Next cooldown: one probe again, and its success closes for all.
+	clk.advance(time.Second)
+	if n := admitted(); n != 1 {
+		t.Fatalf("%d callers admitted in second half-open, want 1", n)
+	}
+	b.success()
+	if state, _ := b.state(); state != "closed" {
+		t.Fatalf("state %s after successful probe, want closed", state)
+	}
+	if n := admitted(); n != 64 {
+		t.Fatalf("closed breaker admitted %d of 64", n)
+	}
+}

@@ -1,0 +1,289 @@
+package dist
+
+// Coordinator tests against in-process cobrad workers (srv.Server
+// behind httptest). The contract under test is the one cmd/figures
+// relies on: every gathered result is byte-identical to the local
+// simulation of the same cell, worker failures translate to steals or
+// local-fallback declines (never campaign errors), and the fleet
+// journal short-circuits re-dispatch on resume.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cobra/internal/client"
+	"cobra/internal/exp"
+	"cobra/internal/sim"
+	"cobra/internal/srv"
+)
+
+// startWorker boots an in-process cobrad and returns its base URL.
+func startWorker(t *testing.T) string {
+	t.Helper()
+	server, err := srv.New(srv.Config{Workers: 2, QueueDepth: 16, DefaultScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Start()
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// deadWorker serves 500 on every path — a worker that is reachable but
+// broken (the client treats it like any availability failure).
+func deadWorker(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// fastOpts makes worker failure cheap: no retries, no resubmits, no
+// breaker, tight polling.
+func fastOpts() client.Options {
+	return client.Options{
+		MaxRetries:       -1,
+		Resubmits:        -1,
+		BreakerThreshold: -1,
+		PollFloor:        time.Millisecond,
+		PollInterval:     20 * time.Millisecond,
+	}
+}
+
+func newCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	if cfg.Client == (client.Options{}) {
+		cfg.Client = fastOpts()
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// localMetrics simulates the cell in-process, the way exp campaigns do
+// when RunCell declines.
+func localMetrics(t *testing.T, k exp.CellKey) sim.Metrics {
+	t.Helper()
+	app, err := exp.BuildApp(k.App, k.Input, k.Scale, k.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := exp.ParseScheme(k.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := exp.RunScheme(app, scheme, k.Bins, sim.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mustJSON renders metrics the way the artifact path consumes them;
+// equality here is the byte-identity the fleet promises.
+func mustJSON(t *testing.T, m sim.Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func testKey() exp.CellKey {
+	return CellKey("DegreeCount", "URND", 8, 42, "COBRA", 0, 1, false)
+}
+
+func TestRunCellMatchesLocal(t *testing.T) {
+	co := newCoordinator(t, Config{Addrs: []string{startWorker(t)}})
+	k := testKey()
+	got, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("RunCell: ok=%v err=%v", ok, err)
+	}
+	want := localMetrics(t, k)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("remote metrics diverge from local:\n remote %s\n local  %s",
+			mustJSON(t, got), mustJSON(t, want))
+	}
+	info := co.Snapshot()
+	if info.Dispatched != 1 || info.Completed != 1 || info.Gathered != 1 {
+		t.Fatalf("snapshot: %+v", info)
+	}
+}
+
+func TestDeclinesUnservable(t *testing.T) {
+	// Dead address on purpose: a decline must never touch the network.
+	co := newCoordinator(t, Config{Addrs: []string{"http://127.0.0.1:1"}})
+	cases := map[string]exp.CellKey{
+		"variant scheme": func() exp.CellKey {
+			k := testKey()
+			k.Scheme = "COBRA[evict=8]"
+			return k
+		}(),
+		"foreign arch": func() exp.CellKey {
+			k := testKey()
+			k.Arch = "not-a-stock-fingerprint"
+			return k
+		}(),
+		"scale out of range": func() exp.CellKey {
+			k := testKey()
+			k.Scale = exp.MaxScale + 1
+			return k
+		}(),
+	}
+	for name, k := range cases {
+		if _, ok, err := co.RunCell(context.Background(), k); ok || err != nil {
+			t.Fatalf("%s: want decline, got ok=%v err=%v", name, ok, err)
+		}
+	}
+	if info := co.Snapshot(); info.Dispatched != 0 {
+		t.Fatalf("unservable cells were dispatched: %+v", info)
+	}
+}
+
+func TestStealFromDeadWorker(t *testing.T) {
+	dead := deadWorker(t)
+	co := newCoordinator(t, Config{Addrs: []string{dead, startWorker(t)}})
+	k := testKey()
+	got, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("RunCell: ok=%v err=%v", ok, err)
+	}
+	if mustJSON(t, got) != mustJSON(t, localMetrics(t, k)) {
+		t.Fatal("stolen cell diverged from local metrics")
+	}
+	info := co.Snapshot()
+	if info.Stolen != 1 || info.Completed != 1 || info.Failed != 1 {
+		t.Fatalf("steal accounting: %+v", info)
+	}
+	if info.Workers[0].Healthy || !info.Workers[1].Healthy {
+		t.Fatalf("health flags after steal: %+v", info.Workers)
+	}
+	if info.Workers[1].Stolen != 1 {
+		t.Fatalf("node1 should have received the steal: %+v", info.Workers[1])
+	}
+}
+
+func TestAllWorkersDownFallsBackLocal(t *testing.T) {
+	co := newCoordinator(t, Config{Addrs: []string{deadWorker(t), deadWorker(t)}})
+	_, ok, err := co.RunCell(context.Background(), testKey())
+	if ok || err != nil {
+		t.Fatalf("want local-fallback decline, got ok=%v err=%v", ok, err)
+	}
+	info := co.Snapshot()
+	if info.Failed != 2 {
+		t.Fatalf("both nodes should have been tried: %+v", info)
+	}
+	for _, n := range info.Workers {
+		if n.Healthy {
+			t.Fatalf("node %s should be marked down", n.Addr)
+		}
+	}
+}
+
+func TestJournalReplaySkipsDispatch(t *testing.T) {
+	k := testKey()
+	want := localMetrics(t, k)
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	j, err := exp.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(k, want); err != nil {
+		t.Fatal(err)
+	}
+	// Workers are all dead: any dispatch attempt would show up as a
+	// decline instead of the replayed metrics.
+	co := newCoordinator(t, Config{Addrs: []string{deadWorker(t)}, Journal: j})
+	got, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("RunCell: ok=%v err=%v", ok, err)
+	}
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatal("journal replay diverged")
+	}
+	if info := co.Snapshot(); info.Dispatched != 0 {
+		t.Fatalf("replayed cell was dispatched: %+v", info)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateCellDedupes(t *testing.T) {
+	co := newCoordinator(t, Config{Addrs: []string{startWorker(t)}})
+	k := testKey()
+	first, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("first RunCell: ok=%v err=%v", ok, err)
+	}
+	second, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("second RunCell: ok=%v err=%v", ok, err)
+	}
+	if mustJSON(t, first) != mustJSON(t, second) {
+		t.Fatal("deduped result diverged")
+	}
+	if info := co.Snapshot(); info.Dispatched != 1 || info.Gathered != 1 {
+		t.Fatalf("duplicate was re-dispatched: %+v", info)
+	}
+}
+
+func TestProbeReadmitsRecoveredWorker(t *testing.T) {
+	worker, err := srv.New(srv.Config{Workers: 2, QueueDepth: 16, DefaultScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker.Start()
+	handler := worker.Handler()
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "flapping", http.StatusInternalServerError)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	co := newCoordinator(t, Config{Addrs: []string{ts.URL}, ProbeInterval: 10 * time.Millisecond})
+	k := testKey()
+	want := localMetrics(t, k)
+
+	down.Store(true)
+	if _, ok, err := co.RunCell(context.Background(), k); ok || err != nil {
+		t.Fatalf("down worker: want decline, got ok=%v err=%v", ok, err)
+	}
+
+	down.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if co.Snapshot().Workers[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never re-admitted the recovered worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, ok, err := co.RunCell(context.Background(), k)
+	if err != nil || !ok {
+		t.Fatalf("recovered worker: ok=%v err=%v", ok, err)
+	}
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatal("post-recovery metrics diverged")
+	}
+}

@@ -308,14 +308,17 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// journaled runs one simulation cell through o's checkpoint journal:
-// a hit replays the recorded metrics without simulating; a miss runs
-// the cell and records the result durably before returning. Without a
-// journal it is a plain call. Common key fields (Scale, Seed, Arch)
-// are filled from o unless the caller already set them (ablations pass
-// an explicit fingerprint for their modified architectures).
+// journaled runs one simulation cell through o's checkpoint journal
+// and (optionally) its remote runner: a journal hit replays the
+// recorded metrics without simulating; a miss offers the cell to
+// o.Remote and falls back to the local simulator when the remote
+// declines it; either way the result is recorded durably before
+// returning. Without a journal or remote it is a plain call. Common
+// key fields (Scale, Seed, Arch) are filled from o unless the caller
+// already set them (ablations pass an explicit fingerprint for their
+// modified architectures).
 func (o Opts) journaled(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics, error) {
-	if o.Journal == nil {
+	if o.Journal == nil && o.Remote == nil {
 		return o.observed(k, run)
 	}
 	k.Scale, k.Seed = o.Scale, o.Seed
@@ -325,21 +328,54 @@ func (o Opts) journaled(k CellKey, run func() (sim.Metrics, error)) (sim.Metrics
 	if k.Arch == "" {
 		k.Arch = ArchFingerprint(o.Arch)
 	}
-	if m, ok := o.Journal.Lookup(k); ok {
-		obsv.Default().Counter("exp.checkpoint.replayed").Add(1)
-		o.Progress.Replayed()
-		o.Events.Emit("cell_replay", cellFields(k, 0, nil))
-		return m, nil
+	if o.Journal != nil {
+		if m, ok := o.Journal.Lookup(k); ok {
+			obsv.Default().Counter("exp.checkpoint.replayed").Add(1)
+			o.Progress.Replayed()
+			o.Events.Emit("cell_replay", cellFields(k, 0, nil))
+			return m, nil
+		}
 	}
-	m, err := o.observed(k, run)
+	m, ran, err := o.remote(k)
+	if !ran {
+		m, err = o.observed(k, run)
+	}
 	if err != nil {
 		return m, err
 	}
-	if err := o.Journal.Record(k, m); err != nil {
-		return m, err
+	if o.Journal != nil {
+		if err := o.Journal.Record(k, m); err != nil {
+			return m, err
+		}
+		obsv.Default().Counter("exp.checkpoint.recorded").Add(1)
 	}
-	obsv.Default().Counter("exp.checkpoint.recorded").Add(1)
 	return m, nil
+}
+
+// remote offers one cell to o.Remote. ran=false means the cell was
+// declined (or no remote is configured) and must run locally; a
+// declined cell never carries an error.
+func (o Opts) remote(k CellKey) (m sim.Metrics, ran bool, err error) {
+	if o.Remote == nil {
+		return sim.Metrics{}, false, nil
+	}
+	start := time.Now()
+	m, ok, err := o.Remote.RunCell(o.ctx(), k)
+	if !ok {
+		obsv.Default().Counter("exp.cells.remote_declined").Add(1)
+		return sim.Metrics{}, false, nil
+	}
+	elapsed := time.Since(start)
+	if reg := obsv.Default(); reg != nil {
+		reg.Counter("exp.cells.remote").Add(1)
+		reg.Histogram("exp.cell.remote_wall").Observe(elapsed)
+	}
+	if err != nil {
+		o.Events.Emit("cell_remote_error", cellFields(k, elapsed, err))
+	} else {
+		o.Events.Emit("cell_remote", cellFields(k, elapsed, nil))
+	}
+	return m, true, err
 }
 
 // observed runs one simulation cell with per-cell observability: the

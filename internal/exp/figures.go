@@ -32,6 +32,16 @@ type Opts struct {
 	// cell and replays already-completed cells on resume (see
 	// checkpoint.go).
 	Journal *Journal
+	// Remote, when non-nil, is offered every simulation cell before it
+	// runs locally (after the journal lookup, so replays stay free). A
+	// runner that returns ok=false declines the cell — not expressible
+	// remotely, or no worker able to take it — and the cell falls back
+	// to the local simulator. Output is byte-identical either way:
+	// cells are deterministic functions of their CellKey, and JSON
+	// round-trips sim.Metrics exactly (the same argument that makes
+	// journal replays exact). internal/dist implements this with a
+	// cobrad worker fleet.
+	Remote RemoteRunner
 
 	// Progress, when non-nil, receives live completion updates (cell
 	// totals as figures declare them, per-cell completions, journal
@@ -41,6 +51,15 @@ type Opts struct {
 	// (cell_done / cell_replay with identity and latency). Nil is a
 	// no-op sink.
 	Events *obsv.EventLog
+}
+
+// RemoteRunner executes simulation cells somewhere other than this
+// process (a fleet of cobrad workers). RunCell either runs the cell to
+// completion (ok=true, with m or err) or declines it (ok=false) — the
+// caller then runs the cell locally. Implementations must return the
+// exact metrics the local simulator would produce for k.
+type RemoteRunner interface {
+	RunCell(ctx context.Context, k CellKey) (m sim.Metrics, ok bool, err error)
 }
 
 // workers resolves the pool size for this regeneration.

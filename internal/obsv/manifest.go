@@ -31,6 +31,33 @@ type CheckpointInfo struct {
 	Recorded uint64 `json:"recorded"`
 }
 
+// FleetNode is one worker's dispatch accounting in a distributed
+// campaign: cells dispatched/completed/failed on it, cells it received
+// as steals from dead workers, plus its client's transport health.
+type FleetNode struct {
+	Addr           string `json:"addr"`
+	Healthy        bool   `json:"healthy"`
+	Dispatched     uint64 `json:"dispatched"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Stolen         uint64 `json:"stolen"`
+	ClientAttempts uint64 `json:"client_attempts"`
+	ClientRetries  uint64 `json:"client_retries"`
+	Breaker        string `json:"breaker"`
+}
+
+// FleetInfo summarizes a distributed campaign for the manifest: the
+// per-node accounting plus fleet-wide totals. Gathered counts distinct
+// cell fingerprints collected (duplicates deduped).
+type FleetInfo struct {
+	Workers    []FleetNode `json:"workers"`
+	Dispatched uint64      `json:"dispatched"`
+	Completed  uint64      `json:"completed"`
+	Failed     uint64      `json:"failed"`
+	Stolen     uint64      `json:"stolen"`
+	Gathered   uint64      `json:"gathered"`
+}
+
 // Manifest is the run provenance record.
 type Manifest struct {
 	Tool       string `json:"tool"`
@@ -52,6 +79,7 @@ type Manifest struct {
 
 	Figures    []FigureTiming  `json:"figures,omitempty"`
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+	Fleet      *FleetInfo      `json:"fleet,omitempty"`
 
 	// Metrics is the registry snapshot at campaign end.
 	Metrics map[string]MetricValue `json:"metrics,omitempty"`

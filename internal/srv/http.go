@@ -4,6 +4,7 @@ package srv
 //
 //	POST /v1/jobs      submit async; 202 + job id (poll /v1/jobs/{id})
 //	POST /v1/run       submit and wait; 200 done | 500 failed | 504 deadline
+//	GET  /v1/jobs      job list summary (state counts + recent views)
 //	GET  /v1/jobs/{id} job status/result
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 once draining)
@@ -30,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/run", s.handleRunSync)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -142,6 +144,12 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// Client went away; the job finishes (and caches) regardless.
 	}
+}
+
+// handleJobsList is GET /v1/jobs: lifecycle counts plus recent views.
+func (s *Server) handleJobsList(w http.ResponseWriter, _ *http.Request) {
+	s.reg.Counter("srv.http.jobs_list").Add(1)
+	writeJSON(w, http.StatusOK, s.jobsSummary())
 }
 
 // handleJobGet is GET /v1/jobs/{id}.

@@ -1,0 +1,139 @@
+package srv
+
+// GET /v1/jobs and the MaxInflight admission cap.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cobra/internal/obsv"
+)
+
+func getSummary(t *testing.T, base string) JobsSummary {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: %d", resp.StatusCode)
+	}
+	var sum JobsSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestJobsSummary(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+
+	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Schemes: []string{"Baseline"}}
+	status, body := postJSON(t, ts.URL+"/v1/run", spec)
+	if status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, body)
+	}
+	spec.Seed = 7
+	status, body = postJSON(t, ts.URL+"/v1/run", spec)
+	if status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, body)
+	}
+
+	sum := getSummary(t, ts.URL)
+	if sum.Done != 2 || sum.Queued != 0 || sum.Running != 0 || sum.Failed != 0 {
+		t.Fatalf("counts: %+v", sum)
+	}
+	if sum.Workers != s.cfg.Workers || sum.QueueCap != s.cfg.QueueDepth {
+		t.Fatalf("capacity fields: %+v", sum)
+	}
+	if len(sum.Recent) != 2 {
+		t.Fatalf("recent: %d views", len(sum.Recent))
+	}
+	// Newest first, and results stripped (the list is a summary — a
+	// full view is one GET /v1/jobs/{id} away).
+	if sum.Recent[0].ID <= sum.Recent[1].ID {
+		t.Fatalf("recent not newest-first: %s then %s", sum.Recent[0].ID, sum.Recent[1].ID)
+	}
+	for _, v := range sum.Recent {
+		if v.Results != nil {
+			t.Fatalf("view %s leaks results into the list", v.ID)
+		}
+		if v.State != JobDone {
+			t.Fatalf("view %s state %s, want done", v.ID, v.State)
+		}
+	}
+}
+
+// TestMaxInflightBackpressure holds a server un-started so its queue
+// cannot drain, fills the admission cap, and demands a deterministic
+// 429 + Retry-After for the overflow; once the server starts, the
+// rejected job resubmits successfully — the redistribution loop a
+// fleet client runs.
+func TestMaxInflightBackpressure(t *testing.T) {
+	reg := obsv.New()
+	s, err := New(Config{Workers: 1, QueueDepth: 8, MaxInflight: 1, DefaultScale: 8, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	// NOT started: the first job stays queued, pinning active at the cap.
+	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Schemes: []string{"Baseline"}}
+	first, err := s.submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.submit(spec); err != errQueueFull {
+		t.Fatalf("over-cap submit: %v, want errQueueFull", err)
+	}
+
+	// Same rejection over HTTP must carry Retry-After.
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap HTTP submit: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	s.Start()
+	<-first.Done()
+	// The slot frees when the worker settles the job; poll-resubmit
+	// exactly as a backpressured client would.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := s.submit(spec); err == nil {
+			break
+		} else if err != errQueueFull {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after job completion")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v := reg.Counter("srv.jobs.rejected_full").Value(); v < 2 {
+		t.Fatalf("rejected_full counter %v, want >= 2", v)
+	}
+}

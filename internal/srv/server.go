@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,12 @@ type Config struct {
 	// QueueDepth bounds the job queue; a full queue rejects with 429
 	// (<= 0: 64).
 	QueueDepth int
+	// MaxInflight, when > 0, caps jobs admitted but not yet settled
+	// (queued + running): submissions beyond it reject with 429 even
+	// while the queue has room. Bounds worker memory precisely, and
+	// lets the fleet smoke test provoke Retry-After redistribution
+	// deterministically. 0 disables the cap.
+	MaxInflight int
 	// DefaultScale fills JobSpec.Scale == 0 (<= 0: 16).
 	DefaultScale int
 	// MaxScale caps job scale (0: exp.MaxScale).
@@ -106,6 +113,9 @@ type Server struct {
 	seq  atomic.Uint64
 
 	inflight atomic.Int64
+	// active counts jobs admitted but not yet settled (queued +
+	// running); the MaxInflight cap rejects on it.
+	active   atomic.Int64
 	started  atomic.Bool
 	wg       sync.WaitGroup
 	drainDo  sync.Once
@@ -160,6 +170,7 @@ func (s *Server) Start() {
 					// Drain: never-started jobs are canceled, not run —
 					// "drain in-flight" must not mean "run the backlog".
 					job.cancel(time.Now())
+					s.active.Add(-1)
 					s.reg.Counter("srv.jobs.canceled").Add(1)
 					continue
 				}
@@ -234,8 +245,14 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 		s.reg.Counter("srv.jobs.rejected_draining").Add(1)
 		return nil, errDraining
 	}
+	if s.cfg.MaxInflight > 0 && int(s.active.Load()) >= s.cfg.MaxInflight {
+		s.qmu.Unlock()
+		s.reg.Counter("srv.jobs.rejected_full").Add(1)
+		return nil, errQueueFull
+	}
 	select {
 	case s.queue <- job:
+		s.active.Add(1)
 		s.qmu.Unlock()
 	default:
 		s.qmu.Unlock()
@@ -259,6 +276,70 @@ func (s *Server) lookup(id string) (*Job, bool) {
 	return j, ok
 }
 
+// JobsSummary is the GET /v1/jobs payload: lifecycle counts plus the
+// most recent job views. It is the one-call answer to "how loaded is
+// this node" — the fleet coordinator polls it for load-aware dispatch
+// and cobractl's jobs subcommand renders it.
+type JobsSummary struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Workers and QueueCap describe the node's capacity; CacheSize is
+	// the fingerprint count of its result cache.
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queue_cap"`
+	CacheSize int `json:"cache_size"`
+	// Recent holds the newest jobsSummaryLimit views, newest first,
+	// with Results stripped: the list is for dashboards and dispatch
+	// decisions, not bulk result transfer (fetch /v1/jobs/{id} for a
+	// job's metrics).
+	Recent []JobView `json:"recent,omitempty"`
+}
+
+// jobsSummaryLimit caps JobsSummary.Recent.
+const jobsSummaryLimit = 20
+
+// jobsSummary snapshots the job table.
+func (s *Server) jobsSummary() JobsSummary {
+	s.jmu.RLock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.View())
+	}
+	s.jmu.RUnlock()
+
+	sum := JobsSummary{
+		Workers:   s.cfg.Workers,
+		QueueCap:  s.cfg.QueueDepth,
+		CacheSize: s.cache.len(),
+	}
+	for i := range views {
+		switch views[i].State {
+		case JobQueued:
+			sum.Queued++
+		case JobRunning:
+			sum.Running++
+		case JobDone:
+			sum.Done++
+		case JobFailed:
+			sum.Failed++
+		case JobCanceled:
+			sum.Canceled++
+		}
+		views[i].Results = nil
+	}
+	// Ids are zero-padded sequence numbers, so lexical order is
+	// submission order; newest first.
+	sort.Slice(views, func(a, b int) bool { return views[a].ID > views[b].ID })
+	if len(views) > jobsSummaryLimit {
+		views = views[:jobsSummaryLimit]
+	}
+	sum.Recent = views
+	return sum
+}
+
 // timeoutFor resolves a job's effective wall-clock budget.
 func (s *Server) timeoutFor(spec JobSpec) time.Duration {
 	if spec.TimeoutMS > 0 {
@@ -275,6 +356,7 @@ func (s *Server) runJob(job *Job) {
 	s.reg.Gauge("srv.jobs.inflight").Set(float64(s.inflight.Add(1)))
 	defer func() {
 		s.reg.Gauge("srv.jobs.inflight").Set(float64(s.inflight.Add(-1)))
+		s.active.Add(-1)
 	}()
 
 	timeout := s.timeoutFor(job.spec)

@@ -381,13 +381,17 @@ func TestSubmitTimeoutClamped(t *testing.T) {
 
 func TestMethodDiscipline(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
-	resp, err := http.Get(ts.URL + "/v1/jobs")
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /v1/jobs = %d, want 405", resp.StatusCode)
+		t.Fatalf("DELETE /v1/jobs = %d, want 405", resp.StatusCode)
 	}
 	resp, err = http.Post(ts.URL+"/healthz", "application/json", nil)
 	if err != nil {
