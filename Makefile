@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke chaos-smoke fleet-smoke
+.PHONY: all build vet test race ci bench bench-compare profile coverage figures-quick fmt-check fuzz-smoke serve-smoke chaos-smoke fleet-smoke stream-smoke
 
 all: ci
 
@@ -31,7 +31,7 @@ test:
 # (-timeout 30m: exp's race pass alone runs >10m on a 2-core box, past
 # go test's default per-binary timeout.)
 race:
-	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client ./internal/dist ./internal/sim ./internal/simtest
+	$(GO) test -race -timeout 30m ./internal/exp ./internal/obsv ./internal/cache ./internal/pb ./internal/srv ./internal/fault ./internal/client ./internal/dist ./internal/sim ./internal/simtest ./internal/stream
 
 # Short fuzz budget per gio reader target: enough to shake out decoder
 # panics and allocation bombs on every CI run without stalling it.
@@ -72,7 +72,16 @@ chaos-smoke:
 fleet-smoke:
 	$(GO) test -run 'TestFleet' -v ./cmd/figures
 
-ci: vet build race coverage fuzz-smoke serve-smoke chaos-smoke fleet-smoke bench-compare
+# Streaming-engine smoke: a tiny 3-window streamed run byte-compared
+# against the offline oracle (same updates replayed in one batch), both
+# in-process (engine conformance, incl. multi-core) and end-to-end over
+# HTTP (POST /v1/stream vs a direct engine run, plus mid-stream kill
+# and window-granularity resume through the result-cache journal).
+stream-smoke:
+	$(GO) test -run '^TestStreamOfflineConformance$$' -v ./internal/stream
+	$(GO) test -run '^TestStreamJob' -v ./internal/srv
+
+ci: vet build race coverage fuzz-smoke serve-smoke chaos-smoke fleet-smoke stream-smoke bench-compare
 
 # Hot-path microbenchmarks (packed cache metadata; scalar-vs-batched
 # hierarchy pipeline; PB binning).

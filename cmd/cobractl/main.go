@@ -42,7 +42,6 @@ import (
 	"cobra/internal/client"
 	"cobra/internal/dist"
 	"cobra/internal/exp"
-	"cobra/internal/mem"
 	"cobra/internal/sim"
 	"cobra/internal/srv"
 )
@@ -154,7 +153,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			sum.Queued, sum.Running, sum.Done, sum.Failed, sum.Canceled, sum.Workers, sum.QueueCap, sum.CacheSize)
 		for _, v := range sum.Recent {
 			fmt.Fprintf(stdout, "%s\t%s\t%s/%s scale=%d schemes=%s\n",
-				v.ID, v.State, v.Spec.App, v.Spec.Input, v.Spec.Scale, strings.Join(v.Spec.Schemes, ","))
+				v.ID, v.State, v.Spec.App, v.Spec.Input, v.Spec.Scale, strings.Join(sim.SchemeNames(v.Spec.Schemes), ","))
 		}
 		return 0
 
@@ -172,7 +171,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 }
 
-// parseSpec parses the job-spec flags shared by submit and run.
+// parseSchemeList resolves a comma-separated scheme list to typed ids
+// (lenient case, like the wire format).
+func parseSchemeList(arg string, stderr io.Writer) ([]sim.SchemeID, bool) {
+	var ids []sim.SchemeID
+	for _, s := range strings.Split(arg, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		id, err := sim.ParseSchemeIDLenient(s)
+		if err != nil {
+			fmt.Fprintln(stderr, "cobractl:", err)
+			return nil, false
+		}
+		ids = append(ids, id)
+	}
+	return ids, true
+}
+
+// parseSpec parses the job-spec flags shared by submit and run into
+// the canonical exp.RunSpec. Full validation happens server-side
+// through the same RunSpec.Normalize every other surface uses.
 func parseSpec(args []string, stderr io.Writer) (srv.JobSpec, int) {
 	fs := flag.NewFlagSet("cobractl job", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -184,6 +203,10 @@ func parseSpec(args []string, stderr io.Writer) (srv.JobSpec, int) {
 		schemes = fs.String("schemes", "", "comma-separated scheme list (required)")
 		bins    = fs.Int("bins", 0, "bin count (0 = sweep)")
 		nuca    = fs.Bool("nuca", false, "enable the NUCA latency model")
+		cores   = fs.Int("cores", 0, "simulated core count (0 = single-core)")
+		stream  = fs.Bool("stream", false, "run as a streamed (windowed) job")
+		windows = fs.Int("windows", 0, "stream window count (0 = server default)")
+		winUpd  = fs.Int("window-updates", 0, "updates per stream window (0 = server default)")
 		jobTO   = fs.Duration("job-timeout", 0, "per-job wall-clock budget (0 = server default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -193,20 +216,28 @@ func parseSpec(args []string, stderr io.Writer) (srv.JobSpec, int) {
 		fmt.Fprintln(stderr, "cobractl: -app, -input and -schemes are required")
 		return srv.JobSpec{}, 2
 	}
-	var list []string
-	for _, s := range strings.Split(*schemes, ",") {
-		if s = strings.TrimSpace(s); s != "" {
-			list = append(list, s)
-		}
+	ids, ok := parseSchemeList(*schemes, stderr)
+	if !ok {
+		return srv.JobSpec{}, 2
+	}
+	kind := exp.KindOffline
+	if *stream {
+		kind = exp.KindStream
 	}
 	return srv.JobSpec{
-		App:       *app,
-		Input:     *input,
-		Scale:     *scale,
-		Seed:      *seed,
-		Schemes:   list,
-		Bins:      *bins,
-		NUCA:      *nuca,
+		RunSpec: exp.RunSpec{
+			App:           *app,
+			Input:         *input,
+			Scale:         *scale,
+			Seed:          *seed,
+			Schemes:       ids,
+			Bins:          *bins,
+			NUCA:          *nuca,
+			Cores:         *cores,
+			Kind:          kind,
+			Windows:       *windows,
+			WindowUpdates: *winUpd,
+		},
 		TimeoutMS: jobTO.Milliseconds(),
 	}, 0
 }
@@ -238,11 +269,26 @@ func fleetRun(ctx context.Context, args []string, stdout, stderr io.Writer, json
 		fmt.Fprintln(stderr, "cobractl: fleet run requires -addrs, -app, -input and -schemes")
 		return 2
 	}
-	var list []string
-	for _, s := range strings.Split(*schemes, ",") {
-		if s = strings.TrimSpace(s); s != "" {
-			list = append(list, s)
-		}
+	ids, ok := parseSchemeList(*schemes, stderr)
+	if !ok {
+		return 2
+	}
+	// One canonical spec covers every scheme's cell; validated through
+	// the same shared path cobrad uses.
+	spec := exp.RunSpec{
+		App:   *app,
+		Input: *input,
+		Scale: *scale,
+		Seed:  *seed,
+		Bins:  *bins,
+		NUCA:  *nuca,
+		Cores: *cores,
+	}
+	probe := spec
+	probe.Schemes = ids
+	if err := probe.Validate(); err != nil {
+		fmt.Fprintln(stderr, "cobractl:", err)
+		return 2
 	}
 
 	cfg := dist.Config{Addrs: strings.Split(*addrs, ","), MaxInflight: *inflight}
@@ -264,14 +310,9 @@ func fleetRun(ctx context.Context, args []string, stdout, stderr io.Writer, json
 	fmt.Fprintf(stderr, "cobractl: fleet: %d/%d workers healthy\n", co.Probe(ctx), len(co.Nodes()))
 
 	// Local-fallback architecture, built in the worker's own knob order
-	// so a declined cell still lands on identical metrics.
-	arch := sim.DefaultArch()
-	if *nuca {
-		arch.Mem.NUCA = mem.DefaultNUCA()
-	}
-	if *cores > 1 {
-		arch = arch.WithCores(*cores)
-	}
+	// (NUCA first, then cores) so a declined cell still lands on
+	// identical metrics.
+	arch := spec.Arch(sim.DefaultArch())
 
 	type cellResult struct {
 		Scheme  string      `json:"scheme"`
@@ -279,31 +320,26 @@ func fleetRun(ctx context.Context, args []string, stdout, stderr io.Writer, json
 		Metrics sim.Metrics `json:"metrics"`
 	}
 	var results []cellResult
-	for _, name := range list {
-		k := dist.CellKey(*app, *input, *scale, *seed, name, *bins, *cores, *nuca)
+	for _, id := range ids {
+		k := dist.FleetCellKey(spec, id)
 		m, remote, err := co.RunCell(ctx, k)
 		if err != nil {
 			fmt.Fprintln(stderr, "cobractl:", err)
 			return 1
 		}
 		if !remote {
-			fmt.Fprintf(stderr, "cobractl: fleet: cell %s declined — simulating locally\n", name)
+			fmt.Fprintf(stderr, "cobractl: fleet: cell %s declined — simulating locally\n", id)
 			appl, err := exp.BuildApp(*app, *input, *scale, *seed)
 			if err != nil {
 				fmt.Fprintln(stderr, "cobractl:", err)
 				return 1
 			}
-			scheme, err := exp.ParseScheme(name)
-			if err != nil {
-				fmt.Fprintln(stderr, "cobractl:", err)
-				return 1
-			}
-			if m, err = exp.RunScheme(appl, scheme, *bins, arch); err != nil {
+			if m, err = exp.RunScheme(appl, id.Scheme(), *bins, arch); err != nil {
 				fmt.Fprintln(stderr, "cobractl:", err)
 				return 1
 			}
 		}
-		results = append(results, cellResult{Scheme: name, Remote: remote, Metrics: m})
+		results = append(results, cellResult{Scheme: id.String(), Remote: remote, Metrics: m})
 	}
 
 	fi := co.Snapshot()
@@ -337,6 +373,9 @@ func printJob(stdout io.Writer, v srv.JobView, asJSON bool) int {
 		fmt.Fprintf(stdout, "%s\t%s", v.ID, v.State)
 		if v.State == srv.JobDone {
 			fmt.Fprintf(stdout, "\tcache_hits=%d cache_misses=%d", v.CacheHits, v.CacheMisses)
+			if len(v.Windows) > 0 {
+				fmt.Fprintf(stdout, " windows=%d", len(v.Windows))
+			}
 			for i, m := range v.Results {
 				fmt.Fprintf(stdout, "\n  %s\tcycles=%.0f", v.Spec.Schemes[i], m.Cycles)
 			}

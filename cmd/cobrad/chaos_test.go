@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"cobra/internal/client"
+	"cobra/internal/exp"
+	"cobra/internal/sim"
 	"cobra/internal/srv"
 )
 
@@ -43,8 +45,8 @@ func TestChaosCacheSurvivesKill(t *testing.T) {
 	cl := client.New(baseA, client.Options{PollInterval: 20 * time.Millisecond})
 	ctx := t.Context()
 
-	specA := srv.JobSpec{App: "DegreeCount", Input: "URND", Scale: 10, Seed: 7,
-		Schemes: []string{"Baseline", "COBRA"}, Bins: 16}
+	specA := srv.JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 10, Seed: 7,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline, sim.SchemeIDCOBRA}, Bins: 16}}
 	vA, err := cl.Run(ctx, specA)
 	if err != nil {
 		t.Fatalf("job A before crash: %v", err)

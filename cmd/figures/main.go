@@ -96,6 +96,7 @@ var figures = map[string]figureFn{
 	"14":      exp.Fig14,
 	"15":      exp.Fig15,
 	"scaling": exp.FigScaling,
+	"stream":  exp.FigStream,
 	"a1":      exp.AblationPrefetcher,
 	"a2":      exp.AblationLLCPolicy,
 	"a3":      exp.AblationPINV,
@@ -105,7 +106,7 @@ var figures = map[string]figureFn{
 }
 
 // order fixes the presentation sequence for -all.
-var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "scaling", "a1", "a2", "a3", "a4", "a5", "a6"}
+var order = []string{"2", "4", "5", "t1", "10", "11", "12", "13a", "13b", "13c", "14", "15", "scaling", "stream", "a1", "a2", "a3", "a4", "a5", "a6"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -117,7 +118,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig         = fs.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15,scaling) or ablation (a1..a6)")
+		fig         = fs.String("fig", "", "figure to regenerate (2,4,5,t1,10,11,12,13a,13b,13c,14,15,scaling,stream) or ablation (a1..a6)")
 		all         = fs.Bool("all", false, "regenerate every figure")
 		quick       = fs.Bool("quick", false, "small-scale smoke run")
 		scale       = fs.Int("scale", 0, "override input scale (keys ~ 2^scale)")
@@ -135,6 +136,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath   = fs.String("trace", "", "write a runtime execution trace to this file")
 		cores       = fs.Int("cores", 1, "simulated core count for every run (1 = legacy single-core model; the scaling figure sweeps its own core axis)")
+		windows     = fs.Int("windows", 0, "stream window count for the stream figure (0 = default)")
+		winUpd      = fs.Int("window-updates", 0, "updates per stream window for the stream figure (0 = default)")
 		scalarRefs  = fs.Bool("scalarrefs", false, "drive simulations through the scalar per-reference oracle instead of the batched pipeline (byte-identical output, slower; for differential testing)")
 		compactCkpt = fs.Bool("compact-checkpoint", false, "compact the -checkpoint journal (drop superseded duplicates and torn tails), then exit")
 		fleet       = fs.String("fleet", "", "comma-separated cobrad worker URLs: scatter servable cells across the fleet (others still run locally)")
@@ -190,14 +193,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *quick {
 		opts = exp.QuickOpts()
 	}
-	if *scale > 0 {
-		opts.Scale = *scale
+	// The numeric knobs validate through the shared RunSpec path (the
+	// same bounds cobrad and cobrasim enforce), not a CLI-local copy.
+	knobs := exp.RunSpec{Scale: *scale, Cores: *cores, Windows: *windows, WindowUpdates: *winUpd}
+	if err := knobs.NormalizeKnobs(exp.Limits{DefaultScale: opts.Scale}); err != nil {
+		fmt.Fprintln(stderr, "figures:", err)
+		return 2
 	}
+	opts.Scale = knobs.Scale
 	opts.Seed = *seed
 	opts.Parallel = *parallel
 	opts.CellTimeout = *cellTimeout
-	if *cores > 1 {
-		opts.Arch = opts.Arch.WithCores(*cores)
+	opts.StreamWindows = knobs.Windows
+	opts.StreamWindowUpdates = knobs.WindowUpdates
+	if knobs.Cores > 1 {
+		opts.Arch = opts.Arch.WithCores(knobs.Cores)
 	}
 	if *scalarRefs {
 		opts.Arch = opts.Arch.WithScalarRefs()

@@ -69,11 +69,13 @@ type Options struct {
 }
 
 // Error is the typed failure the client returns: which operation, the
-// HTTP status if a response arrived, how many retries were spent, and
-// whether retrying could ever help.
+// HTTP status if a response arrived, the server's machine-readable
+// error code if it sent one, how many retries were spent, and whether
+// retrying could ever help.
 type Error struct {
 	Op        string // "submit", "get", "wait", "health"
 	Status    int    // HTTP status, 0 for transport failures
+	Code      string // /v1 envelope code ("invalid_spec", ...), "" if none
 	Permanent bool   // true: retrying cannot succeed (4xx, validation)
 	Retries   int    // retry attempts consumed before giving up
 	Err       error
@@ -84,6 +86,9 @@ func (e *Error) Error() string {
 	if e.Permanent {
 		kind = "permanent"
 	}
+	if e.Code != "" {
+		kind += " [" + e.Code + "]"
+	}
 	if e.Status != 0 {
 		return fmt.Sprintf("client: %s: %s http %d after %d retries: %v", e.Op, kind, e.Status, e.Retries, e.Err)
 	}
@@ -91,6 +96,23 @@ func (e *Error) Error() string {
 }
 
 func (e *Error) Unwrap() error { return e.Err }
+
+// apiError is one decoded /v1 error envelope.
+type apiError struct {
+	code string
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// codeOf extracts the envelope code from a response error, if any.
+func codeOf(err error) string {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.code
+	}
+	return ""
+}
 
 // Client is a cobrad API client. Safe for concurrent use.
 type Client struct {
@@ -333,12 +355,12 @@ func (c *Client) do(ctx context.Context, op, method, path string, body, out any)
 		default:
 			// 4xx: the request itself is wrong; retrying cannot help.
 			c.breaker.success()
-			return &Error{Op: op, Status: status, Permanent: true, Retries: retries, Err: err}
+			return &Error{Op: op, Status: status, Code: codeOf(err), Permanent: true, Retries: retries, Err: err}
 		}
 		lastErr = err
 
 		if attempt >= c.opts.MaxRetries {
-			return &Error{Op: op, Status: status, Retries: retries, Err: lastErr}
+			return &Error{Op: op, Status: status, Code: codeOf(lastErr), Retries: retries, Err: lastErr}
 		}
 		if err := c.clock.Sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
 			return &Error{Op: op, Permanent: true, Retries: retries, Err: err}
@@ -383,14 +405,19 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	}
 
 	retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.clock)
-	var eb struct {
-		Error string `json:"error"`
+	// Decode the /v1 error envelope; pre-envelope servers carried only
+	// the top-level "error" key, which ErrorBody still maps (Legacy).
+	var eb srv.ErrorBody
+	ae := &apiError{msg: resp.Status}
+	if json.NewDecoder(resp.Body).Decode(&eb) == nil {
+		switch {
+		case eb.Message != "":
+			ae.code, ae.msg = eb.Code, eb.Message
+		case eb.Legacy != "":
+			ae.msg = eb.Legacy
+		}
 	}
-	msg := resp.Status
-	if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-		msg = eb.Error
-	}
-	return resp.StatusCode, retryAfter, errors.New(msg)
+	return resp.StatusCode, retryAfter, ae
 }
 
 // backoff computes the delay before retry #attempt: full jitter over

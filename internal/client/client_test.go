@@ -313,3 +313,38 @@ func TestRetryAfterHTTPDate(t *testing.T) {
 		t.Fatalf("sleeps = %v, want [30s]", sleeps)
 	}
 }
+
+// TestErrorEnvelopeDecoded: the client decodes the /v1 error envelope
+// into the typed Error — machine-readable code plus the human message —
+// and still understands pre-envelope bodies that carry only the legacy
+// top-level "error" key.
+func TestErrorEnvelopeDecoded(t *testing.T) {
+	srvr := &scriptServer{script: []int{400}, bodyFor: func(int) string {
+		return `{"code":"invalid_spec","message":"srv: unknown app","details":{"app":"Nope"},"error":"srv: unknown app"}`
+	}}
+	c, _ := newTestClient(t, srvr, Options{MaxRetries: 2})
+	_, err := c.Submit(context.Background(), srv.JobSpec{})
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *Error", err, err)
+	}
+	if ce.Code != "invalid_spec" || !ce.Permanent || ce.Status != 400 {
+		t.Fatalf("envelope not decoded: %+v", ce)
+	}
+	if ce.Err.Error() != "srv: unknown app" {
+		t.Fatalf("message = %q", ce.Err.Error())
+	}
+
+	// Legacy body: message only, no code.
+	legacy := &scriptServer{script: []int{400}, bodyFor: func(int) string {
+		return `{"error":"srv: old-style error"}`
+	}}
+	c2, _ := newTestClient(t, legacy, Options{MaxRetries: 2})
+	_, err = c2.Submit(context.Background(), srv.JobSpec{})
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	if ce.Code != "" || ce.Err.Error() != "srv: old-style error" {
+		t.Fatalf("legacy body misdecoded: %+v", ce)
+	}
+}

@@ -103,7 +103,9 @@ func mustJSON(t *testing.T, m sim.Metrics) string {
 }
 
 func testKey() exp.CellKey {
-	return CellKey("DegreeCount", "URND", 8, 42, "COBRA", 0, 1, false)
+	return FleetCellKey(exp.RunSpec{
+		App: "DegreeCount", Input: "URND", Scale: 8, Seed: 42, Cores: 1,
+	}, sim.SchemeIDCOBRA)
 }
 
 func TestRunCellMatchesLocal(t *testing.T) {

@@ -57,18 +57,19 @@ func (co *Coordinator) servable(cores int) servableArchs {
 }
 
 // specFor translates a cell into the job a worker would run, or
-// reports it unservable.
+// reports it unservable. The candidate spec is validated through the
+// one shared path (exp.RunSpec.Validate) — no per-binary copy of the
+// scheme/scale/cores checks.
 func (co *Coordinator) specFor(k exp.CellKey) (srv.JobSpec, bool) {
-	if exp.ValidApp(k.App) != nil || exp.ValidInput(k.Input) != nil {
+	if k.Window != 0 {
+		// Stream windows are not independently dispatchable: a window's
+		// metrics are, but the functional state is sequential. Streamed
+		// runs go to workers as whole stream jobs, never as cells.
 		return srv.JobSpec{}, false
 	}
-	if _, err := exp.ParseScheme(k.Scheme); err != nil {
-		return srv.JobSpec{}, false
-	}
-	if k.Scale < exp.MinScale || k.Scale > exp.MaxScale {
-		return srv.JobSpec{}, false
-	}
-	if k.Bins < 0 {
+	id, err := sim.ParseSchemeID(k.Scheme)
+	if err != nil {
+		// Variant schemes ("COBRA[evict=8]") have no JobSpec spelling.
 		return srv.JobSpec{}, false
 	}
 	cores := k.Cores
@@ -85,39 +86,26 @@ func (co *Coordinator) specFor(k exp.CellKey) (srv.JobSpec, bool) {
 	default:
 		return srv.JobSpec{}, false
 	}
-	return srv.JobSpec{
+	spec := srv.JobSpec{RunSpec: exp.RunSpec{
 		App:     k.App,
 		Input:   k.Input,
 		Scale:   k.Scale,
 		Seed:    k.Seed,
-		Schemes: []string{k.Scheme},
+		Schemes: []sim.SchemeID{id},
 		Bins:    k.Bins,
 		NUCA:    nuca,
 		Cores:   cores,
-	}, true
+	}}
+	if spec.RunSpec.Validate() != nil {
+		return srv.JobSpec{}, false
+	}
+	return spec, true
 }
 
-// CellKey builds the canonical identity of an ad-hoc fleet cell
-// (cobractl fleet run): the stock architecture with the NUCA and core
-// knobs applied in the worker's own order, fingerprinted the same way
-// the campaign code does.
-func CellKey(app, input string, scale int, seed uint64, scheme string, bins, cores int, nuca bool) exp.CellKey {
-	arch := sim.DefaultArch()
-	if nuca {
-		arch.Mem.NUCA = mem.DefaultNUCA()
-	}
-	if cores > 1 {
-		arch = arch.WithCores(cores)
-	}
-	return exp.CellKey{
-		Figure: "fleet",
-		App:    app,
-		Input:  input,
-		Scale:  scale,
-		Seed:   seed,
-		Scheme: scheme,
-		Bins:   bins,
-		Cores:  cores,
-		Arch:   exp.ArchFingerprint(arch),
-	}
+// FleetCellKey builds the canonical identity of an ad-hoc fleet cell
+// (cobractl fleet run) from the one RunSpec: the stock architecture
+// with the spec's NUCA and core knobs applied in the worker's own
+// order, fingerprinted the same way the campaign code does.
+func FleetCellKey(spec exp.RunSpec, scheme sim.SchemeID) exp.CellKey {
+	return spec.CellKey("fleet", scheme, sim.DefaultArch())
 }

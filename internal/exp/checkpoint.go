@@ -55,18 +55,28 @@ type CellKey struct {
 	Bins   int
 	Cores  int    // simulated core count (0 and 1 both mean single-core)
 	Arch   string // ArchFingerprint of the cell's architecture
+	// Window identifies one window of a streamed run, 1-based; 0 means
+	// an offline (whole-workload) cell. Windows checkpoint individually,
+	// so a killed streamed run resumes at window granularity.
+	Window int
 }
 
 // fingerprint renders the key as the canonical journal string. Cores
 // is folded to its effective value (0 -> 1) so callers that never set
-// it produce the same key as callers that spell out single-core.
+// it produce the same key as callers that spell out single-core. The
+// window suffix appears only for streamed windows, keeping every
+// offline fingerprint byte-identical to the pre-streaming format.
 func (k CellKey) fingerprint() string {
 	cores := k.Cores
 	if cores <= 1 {
 		cores = 1
 	}
-	return fmt.Sprintf("fig=%s|app=%s|in=%s|scale=%d|seed=%d|scheme=%s|bins=%d|cores=%d|arch=%s",
+	fp := fmt.Sprintf("fig=%s|app=%s|in=%s|scale=%d|seed=%d|scheme=%s|bins=%d|cores=%d|arch=%s",
 		k.Figure, k.App, k.Input, k.Scale, k.Seed, k.Scheme, k.Bins, cores, k.Arch)
+	if k.Window > 0 {
+		fp += fmt.Sprintf("|win=%d", k.Window)
+	}
+	return fp
 }
 
 // Fingerprint is the exported form of the canonical cell identity

@@ -112,10 +112,10 @@ func TestRunSchemeInvalidName(t *testing.T) {
 }
 
 func TestAppAndInputNames(t *testing.T) {
-	if len(AppNames()) != 9 {
+	if len(AppNames()) != 11 {
 		t.Fatalf("AppNames = %v", AppNames())
 	}
-	if len(InputNames()) == 0 || len(GraphApps()) != 4 || len(MatrixApps()) != 3 {
+	if len(InputNames()) == 0 || len(GraphApps()) != 4 || len(MatrixApps()) != 3 || len(StreamApps()) != 2 {
 		t.Fatal("name lists wrong")
 	}
 }

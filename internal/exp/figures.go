@@ -21,6 +21,12 @@ type Opts struct {
 	// 1 = serial. Output is byte-identical at any setting.
 	Parallel int
 
+	// StreamWindows / StreamWindowUpdates parameterize the streaming
+	// figure's window geometry (0: DefaultStreamWindows /
+	// DefaultWindowUpdates at the campaign scale).
+	StreamWindows       int
+	StreamWindowUpdates int
+
 	// Ctx, when non-nil, governs the campaign: cancelling it stops the
 	// dispatch of new simulation cells (in-flight cells drain) and the
 	// figure returns an ErrInterrupted-wrapping error.

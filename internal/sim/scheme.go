@@ -1,0 +1,140 @@
+package sim
+
+// Typed scheme identity for API boundaries.
+//
+// Scheme (a string) remains the simulator's internal spelling — it is
+// what Metrics carries and what checkpoint fingerprints embed — but
+// every API boundary (exp.RunSpec, srv.JobSpec, the cobrad wire
+// format, fleet cell translation) passes the typed SchemeID instead of
+// shuttling raw strings through ParseScheme at each layer. A SchemeID
+// marshals to the canonical scheme name, so wire formats are unchanged;
+// unmarshalling additionally accepts legacy spellings (case variants,
+// surrounding space) for back-compat with pre-typed clients.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// SchemeID is the typed identity of an execution scheme. The zero
+// value is invalid, so an absent or unparsed scheme can never be
+// mistaken for a real one.
+type SchemeID uint8
+
+// Scheme identities, in the canonical presentation order (Figure 10's
+// bars plus the §VII-C specializations).
+const (
+	SchemeIDInvalid SchemeID = iota
+	SchemeIDBaseline
+	SchemeIDPBSW
+	SchemeIDPBIdeal
+	SchemeIDCOBRA
+	SchemeIDComm
+	SchemeIDPHI
+)
+
+// schemeIDNames maps each id to its canonical Scheme spelling.
+var schemeIDNames = [...]Scheme{
+	SchemeIDInvalid:  "",
+	SchemeIDBaseline: SchemeBaseline,
+	SchemeIDPBSW:     SchemePBSW,
+	SchemeIDPBIdeal:  SchemePBIdeal,
+	SchemeIDCOBRA:    SchemeCOBRA,
+	SchemeIDComm:     SchemeComm,
+	SchemeIDPHI:      SchemePHI,
+}
+
+// SchemeIDs returns every valid scheme id in presentation order.
+func SchemeIDs() []SchemeID {
+	return []SchemeID{SchemeIDBaseline, SchemeIDPBSW, SchemeIDPBIdeal, SchemeIDCOBRA, SchemeIDComm, SchemeIDPHI}
+}
+
+// Valid reports whether id names a real scheme.
+func (id SchemeID) Valid() bool {
+	return id > SchemeIDInvalid && int(id) < len(schemeIDNames)
+}
+
+// Scheme returns the canonical simulator spelling ("" for invalid).
+func (id SchemeID) Scheme() Scheme {
+	if !id.Valid() {
+		return ""
+	}
+	return schemeIDNames[id]
+}
+
+// String returns the canonical name (or a diagnostic for invalid ids).
+func (id SchemeID) String() string {
+	if !id.Valid() {
+		return fmt.Sprintf("SchemeID(%d)", uint8(id))
+	}
+	return string(schemeIDNames[id])
+}
+
+// ParseSchemeID resolves a canonical scheme name, strictly (exact
+// case): checkpoint fingerprints and wire formats key on the canonical
+// spelling, so generated identifiers must never drift.
+func ParseSchemeID(name string) (SchemeID, error) {
+	for _, id := range SchemeIDs() {
+		if name == string(id.Scheme()) {
+			return id, nil
+		}
+	}
+	return SchemeIDInvalid, fmt.Errorf("sim: unknown scheme %q (want one of %s)", name, schemeNameList())
+}
+
+// ParseSchemeIDLenient resolves a scheme name accepting the legacy
+// input forms pre-typed clients sent: surrounding whitespace and any
+// case ("baseline", "pb-sw"). The resolved id still spells itself
+// canonically, so leniency never leaks into fingerprints or output.
+func ParseSchemeIDLenient(name string) (SchemeID, error) {
+	trimmed := strings.TrimSpace(name)
+	for _, id := range SchemeIDs() {
+		if strings.EqualFold(trimmed, string(id.Scheme())) {
+			return id, nil
+		}
+	}
+	return SchemeIDInvalid, fmt.Errorf("sim: unknown scheme %q (want one of %s)", name, schemeNameList())
+}
+
+func schemeNameList() string {
+	names := make([]string, 0, len(schemeIDNames)-1)
+	for _, id := range SchemeIDs() {
+		names = append(names, string(id.Scheme()))
+	}
+	return strings.Join(names, ", ")
+}
+
+// MarshalJSON emits the canonical scheme name, keeping the wire format
+// byte-compatible with the historical []string spelling.
+func (id SchemeID) MarshalJSON() ([]byte, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("sim: cannot marshal invalid SchemeID(%d)", uint8(id))
+	}
+	return json.Marshal(string(id.Scheme()))
+}
+
+// UnmarshalJSON accepts a JSON string naming a scheme — canonical or
+// legacy (case-insensitive) — for wire back-compat.
+func (id *SchemeID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("sim: scheme must be a JSON string: %w", err)
+	}
+	parsed, err := ParseSchemeIDLenient(s)
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// SchemeNames renders ids as their canonical strings (display and
+// legacy-wire helpers).
+func SchemeNames(ids []SchemeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id.Scheme())
+	}
+	return out
+}

@@ -121,6 +121,40 @@ func (c *resultCache) getOrRun(key exp.CellKey, compute func() (sim.Metrics, err
 	return m, false, nil
 }
 
+// lookup consults the store without computing — the stream engine's
+// per-window checkpoint probe.
+func (c *resultCache) lookup(key exp.CellKey) (sim.Metrics, bool) {
+	fp := key.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.lookupLocked(key, fp)
+	if ok {
+		c.count(true)
+	}
+	return m, ok
+}
+
+// record stores one computed result directly — the stream engine's
+// per-window checkpoint commit. Windows bypass single-flight (they are
+// sequential within a run; concurrent identical runs dedupe through
+// the journal per window), so there is no flight to settle.
+func (c *resultCache) record(key exp.CellKey, m sim.Metrics) error {
+	if c.journal != nil {
+		// Journal.Record locks and fsyncs itself.
+		if err := c.journal.Record(key, m); err != nil {
+			return err
+		}
+		c.count(false)
+		return nil
+	}
+	fp := key.Fingerprint()
+	c.mu.Lock()
+	c.mem[fp] = m
+	c.mu.Unlock()
+	c.count(false)
+	return nil
+}
+
 // settle publishes the flight's outcome, stores successful results,
 // and removes the in-flight marker.
 func (c *resultCache) settle(fp string, f *flight, m sim.Metrics, err error) {

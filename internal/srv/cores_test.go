@@ -5,6 +5,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"cobra/internal/exp"
+	"cobra/internal/sim"
 )
 
 // TestSpecCoresValidation pins the cores field of the job wire format:
@@ -12,7 +15,9 @@ import (
 // the server limit are client errors.
 func TestSpecCoresValidation(t *testing.T) {
 	cfg := Config{MaxCores: 8}.withDefaults()
-	base := JobSpec{App: "DegreeCount", Input: "URND", Schemes: []string{"Baseline"}}
+	base := JobSpec{RunSpec: exp.RunSpec{
+		App: "DegreeCount", Input: "URND", Schemes: []sim.SchemeID{sim.SchemeIDBaseline},
+	}}
 
 	sp := base
 	if _, err := sp.normalize(cfg); err != nil {
@@ -36,7 +41,7 @@ func TestSpecCoresValidation(t *testing.T) {
 
 	sp = base
 	sp.Cores = 9
-	if _, err := sp.normalize(cfg); err == nil || !strings.Contains(err.Error(), "exceeds server limit") {
+	if _, err := sp.normalize(cfg); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
 		t.Fatalf("cores over limit: err = %v", err)
 	}
 
@@ -50,10 +55,10 @@ func TestSpecCoresValidation(t *testing.T) {
 // checks the merged metrics carry the requested core count.
 func TestRunSyncMultiCore(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
-	spec := JobSpec{
+	spec := JobSpec{RunSpec: exp.RunSpec{
 		App: "DegreeCount", Input: "URND", Scale: 9, Seed: 7,
-		Schemes: []string{"Baseline", "COBRA"}, Cores: 4,
-	}
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline, sim.SchemeIDCOBRA}, Cores: 4,
+	}}
 	code, body := postJSON(t, ts.URL+"/v1/run", spec)
 	if code != http.StatusOK {
 		t.Fatalf("POST /v1/run = %d: %s", code, body)

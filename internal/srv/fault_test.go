@@ -16,7 +16,9 @@ import (
 	"testing"
 	"time"
 
+	"cobra/internal/exp"
 	"cobra/internal/fault"
+	"cobra/internal/sim"
 )
 
 func TestLoadWithCompletionFaults(t *testing.T) {
@@ -47,8 +49,8 @@ func TestLoadWithCompletionFaults(t *testing.T) {
 			defer wg.Done()
 			// Distinct seeds: every job is a genuine compute (a fault
 			// candidate), not a cache collapse.
-			spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8,
-				Seed: uint64(i), Schemes: []string{"Baseline"}}
+			spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+				Seed: uint64(i), Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 			if i%4 == 0 {
 				codes[i] = fire(t, client, ts.URL+"/v1/jobs", spec)
 			} else {
@@ -91,8 +93,8 @@ func TestLoadWithCompletionFaults(t *testing.T) {
 	// cached, one of these would replay it.
 	fault.Deactivate()
 	for seed := 0; seed < n; seed++ {
-		spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8,
-			Seed: uint64(seed), Schemes: []string{"Baseline"}}
+		spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+			Seed: uint64(seed), Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 		if code := fire(t, client, ts.URL+"/v1/run", spec); code != http.StatusOK {
 			t.Fatalf("seed %d after deactivation: status %d — an injected failure leaked into the cache", seed, code)
 		}
@@ -133,7 +135,8 @@ func TestAdmissionFaultMapsTo500(t *testing.T) {
 	defer fault.Deactivate()
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	if code := fire(t, client, ts.URL+"/v1/jobs", spec); code != http.StatusInternalServerError {
 		t.Fatalf("faulted admission: status %d, want 500", code)
 	}

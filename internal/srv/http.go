@@ -4,6 +4,7 @@ package srv
 //
 //	POST /v1/jobs      submit async; 202 + job id (poll /v1/jobs/{id})
 //	POST /v1/run       submit and wait; 200 done | 500 failed | 504 deadline
+//	POST /v1/stream    submit async with Kind forced to "stream"
 //	GET  /v1/jobs      job list summary (state counts + recent views)
 //	GET  /v1/jobs/{id} job status/result
 //	GET  /healthz      liveness (200 while the process runs)
@@ -12,6 +13,10 @@ package srv
 //
 // Backpressure: a full queue answers 429 with Retry-After; a draining
 // server answers 503 with Retry-After. Neither allocates a job.
+//
+// Every error response is one ErrorBody envelope: {code, message,
+// details}. The legacy "error" key mirrors message so pre-envelope
+// clients keep decoding.
 
 import (
 	"encoding/json"
@@ -20,6 +25,7 @@ import (
 	"net/http"
 	"time"
 
+	"cobra/internal/exp"
 	"cobra/internal/fault"
 )
 
@@ -31,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/run", s.handleRunSync)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -48,9 +55,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error payload.
-type errorBody struct {
-	Error string `json:"error"`
+// Error codes of the /v1 envelope. Machine-readable and stable:
+// clients branch on these, never on message text.
+const (
+	ErrCodeInvalidSpec = "invalid_spec"
+	ErrCodeQueueFull   = "queue_full"
+	ErrCodeDraining    = "draining"
+	ErrCodeNotFound    = "not_found"
+	ErrCodeInternal    = "internal"
+)
+
+// ErrorBody is the single error envelope every /v1 endpoint answers
+// with: a stable machine-readable code, a human message, and optional
+// structured details. Legacy mirrors Message under the historical
+// top-level "error" key for pre-envelope clients.
+type ErrorBody struct {
+	Code    string            `json:"code"`
+	Message string            `json:"message"`
+	Details map[string]string `json:"details,omitempty"`
+	Legacy  string            `json:"error"`
+}
+
+// writeError emits one enveloped error response.
+func writeError(w http.ResponseWriter, status int, code, msg string, details map[string]string) {
+	writeJSON(w, status, ErrorBody{Code: code, Message: msg, Details: details, Legacy: msg})
 }
 
 // decodeSpec parses and strictly decodes a JobSpec (unknown fields are
@@ -61,7 +89,8 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("srv: decoding job spec: %v", err)})
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec,
+			fmt.Sprintf("srv: decoding job spec: %v", err), nil)
 		return JobSpec{}, false
 	}
 	return spec, true
@@ -76,16 +105,16 @@ func (s *Server) acceptJob(w http.ResponseWriter, spec JobSpec) *Job {
 		return job
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, err.Error(), nil)
 	case errors.Is(err, errDraining):
 		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, err.Error(), nil)
 	case errors.Is(err, fault.ErrInjected):
 		// An injected admission fault is an internal failure, not the
 		// client's: 500, retryable.
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error(), nil)
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec, err.Error(), nil)
 	}
 	return nil
 }
@@ -97,6 +126,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	job := s.acceptJob(w, spec)
+	if job == nil {
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.id)
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+// handleStream is POST /v1/stream: async submission with Kind forced
+// to "stream" — sugar over POST /v1/jobs with {"kind":"stream"}; both
+// spellings run the same path.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("srv.http.stream_post").Add(1)
+	spec, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	spec.Kind = exp.KindStream
 	job := s.acceptJob(w, spec)
 	if job == nil {
 		return
@@ -158,7 +205,8 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("srv: no job %q", id)})
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			fmt.Sprintf("srv: no job %q", id), map[string]string{"id": id})
 		return
 	}
 	writeJSON(w, http.StatusOK, job.View())

@@ -16,84 +16,36 @@ import (
 	"cobra/internal/sim"
 )
 
-// JobSpec is the wire form of one simulation request. It is exactly
-// the parameter set of an exp simulation cell group: one (app, input,
-// scale, seed) workload run through one or more schemes.
+// JobSpec is the wire form of one simulation request: the canonical
+// exp.RunSpec — one (app, input, scale, seed) workload run through one
+// or more schemes, offline or streamed — plus the service-level
+// timeout knob. Embedding keeps the wire format flat: the JSON object
+// is exactly the RunSpec fields plus timeout_ms, byte-compatible with
+// every pre-RunSpec client.
 type JobSpec struct {
-	App   string `json:"app"`
-	Input string `json:"input"`
-	// Scale is the input scale (keys/vertices ~ 2^scale); 0 selects the
-	// server's default. Bounded by exp.MinScale..min(exp.MaxScale,
-	// server max).
-	Scale int    `json:"scale,omitempty"`
-	Seed  uint64 `json:"seed,omitempty"`
-	// Schemes is the list of execution schemes to run; every name must
-	// be one of exp.SchemeNames(). At least one is required.
-	Schemes []string `json:"schemes"`
-	// Bins is the PB-SW/PHI bin count; 0 sweeps for the best (slower,
-	// still deterministic — the sweep result is part of the cell's
-	// identity).
-	Bins int `json:"bins,omitempty"`
-	// NUCA enables Table II's 4x4-mesh NUCA latency model. Arch knobs
-	// are part of the cache fingerprint, so NUCA and non-NUCA results
-	// never alias.
-	NUCA bool `json:"nuca,omitempty"`
-	// Cores is the simulated core count (0 and 1 both select the
-	// single-core model; >1 runs the sharded multi-core model). Bounded
-	// by the server's MaxCores.
-	Cores int `json:"cores,omitempty"`
+	exp.RunSpec
 	// TimeoutMS caps this job's wall-clock; 0 uses the server default.
 	// Clamped to the server maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// normalize validates the spec against the experiment registry and
-// the server limits, filling defaults in place and returning the
-// parsed schemes. Every violation is a client error (HTTP 400).
-func (sp *JobSpec) normalize(cfg Config) ([]sim.Scheme, error) {
-	if err := exp.ValidApp(sp.App); err != nil {
+// normalize validates the spec through the one shared validation path
+// (exp.RunSpec.Normalize under the server's limits) plus the
+// service-level constraints, filling defaults in place. Every
+// violation is a client error (HTTP 400).
+func (sp *JobSpec) normalize(cfg Config) ([]sim.SchemeID, error) {
+	if err := sp.RunSpec.Normalize(exp.Limits{
+		DefaultScale: cfg.DefaultScale,
+		MaxScale:     cfg.MaxScale,
+		MaxCores:     cfg.MaxCores,
+	}); err != nil {
 		return nil, err
 	}
-	if err := exp.ValidInput(sp.Input); err != nil {
-		return nil, err
-	}
-	if sp.Scale == 0 {
-		sp.Scale = cfg.DefaultScale
-	}
-	maxScale := cfg.MaxScale
-	if maxScale <= 0 || maxScale > exp.MaxScale {
-		maxScale = exp.MaxScale
-	}
-	if sp.Scale < exp.MinScale || sp.Scale > maxScale {
-		return nil, fmt.Errorf("srv: scale %d out of range [%d, %d]", sp.Scale, exp.MinScale, maxScale)
-	}
-	if len(sp.Schemes) == 0 {
-		return nil, fmt.Errorf("srv: job needs at least one scheme (want of %v)", exp.SchemeNames())
-	}
-	schemes := make([]sim.Scheme, len(sp.Schemes))
-	seen := map[string]bool{}
-	for i, name := range sp.Schemes {
-		s, err := exp.ParseScheme(name)
-		if err != nil {
-			return nil, err
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("srv: duplicate scheme %q in job", name)
-		}
-		seen[name] = true
-		schemes[i] = s
-	}
-	if sp.Bins < 0 {
-		return nil, fmt.Errorf("srv: negative bin count %d", sp.Bins)
-	}
-	if sp.Cores < 0 {
-		return nil, fmt.Errorf("srv: negative core count %d", sp.Cores)
-	}
-	if sp.Cores == 0 {
-		sp.Cores = 1
-	}
-	if sp.Cores > cfg.MaxCores {
-		return nil, fmt.Errorf("srv: core count %d exceeds server limit %d", sp.Cores, cfg.MaxCores)
+	// A streamed job reports one merged result plus per-window metrics;
+	// one scheme per job keeps that wire shape unambiguous (submit one
+	// job per scheme to compare).
+	if sp.Kind == exp.KindStream && len(sp.Schemes) != 1 {
+		return nil, fmt.Errorf("srv: stream jobs run exactly one scheme, got %d", len(sp.Schemes))
 	}
 	if sp.TimeoutMS < 0 {
 		return nil, fmt.Errorf("srv: negative timeout_ms %d", sp.TimeoutMS)
@@ -101,7 +53,7 @@ func (sp *JobSpec) normalize(cfg Config) ([]sim.Scheme, error) {
 	if maxMS := cfg.MaxJobTimeout.Milliseconds(); maxMS > 0 && sp.TimeoutMS > maxMS {
 		sp.TimeoutMS = maxMS
 	}
-	return schemes, nil
+	return sp.Schemes, nil
 }
 
 // JobState is the lifecycle state of a job.
@@ -122,14 +74,15 @@ const (
 type Job struct {
 	id      string
 	spec    JobSpec
-	schemes []sim.Scheme
+	schemes []sim.SchemeID
 
 	mu        sync.Mutex
 	state     JobState
 	errMsg    string
 	results   []sim.Metrics
-	hits      int // scheme cells served from the result cache
-	misses    int // scheme cells simulated fresh
+	windows   []sim.Metrics // streamed jobs: per-window metrics, live
+	hits      int           // scheme cells served from the result cache
+	misses    int           // scheme cells simulated fresh
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -139,7 +92,7 @@ type Job struct {
 	done chan struct{}
 }
 
-func newJob(id string, spec JobSpec, schemes []sim.Scheme, now time.Time) *Job {
+func newJob(id string, spec JobSpec, schemes []sim.SchemeID, now time.Time) *Job {
 	return &Job{
 		id:        id,
 		spec:      spec,
@@ -158,6 +111,14 @@ func (j *Job) setRunning(now time.Time) {
 	defer j.mu.Unlock()
 	j.state = JobRunning
 	j.started = now
+}
+
+// windowDone appends one completed stream window, so GET /v1/jobs/{id}
+// shows per-window progress while the job is still running.
+func (j *Job) windowDone(m sim.Metrics) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.windows = append(j.windows, m)
 }
 
 // finish moves the job to its terminal state and releases waiters.
@@ -192,12 +153,16 @@ func (j *Job) cancel(now time.Time) {
 // JobView is the JSON representation served by GET /v1/jobs/{id} and
 // POST /v1/run. Results carry the exact sim.Metrics structs the
 // figures pipeline uses, so CLI (-json) and API wire formats align.
+// Streamed jobs additionally carry Windows — the per-window metrics in
+// window order (populated live as windows complete) — while Results
+// holds the single MergeMetrics fold.
 type JobView struct {
 	ID          string        `json:"id"`
 	State       JobState      `json:"state"`
 	Spec        JobSpec       `json:"spec"`
 	Error       string        `json:"error,omitempty"`
 	Results     []sim.Metrics `json:"results,omitempty"`
+	Windows     []sim.Metrics `json:"windows,omitempty"`
 	CacheHits   int           `json:"cache_hits"`
 	CacheMisses int           `json:"cache_misses"`
 	SubmittedAt string        `json:"submitted_at,omitempty"`
@@ -217,6 +182,9 @@ func (j *Job) View() JobView {
 		Results:     j.results,
 		CacheHits:   j.hits,
 		CacheMisses: j.misses,
+	}
+	if len(j.windows) > 0 {
+		v.Windows = append([]sim.Metrics(nil), j.windows...)
 	}
 	if !j.submitted.IsZero() {
 		v.SubmittedAt = j.submitted.UTC().Format(time.RFC3339Nano)

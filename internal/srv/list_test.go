@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"cobra/internal/exp"
 	"cobra/internal/obsv"
+	"cobra/internal/sim"
 )
 
 func getSummary(t *testing.T, base string) JobsSummary {
@@ -34,7 +36,8 @@ func getSummary(t *testing.T, base string) JobsSummary {
 func TestJobsSummary(t *testing.T) {
 	s, ts, _ := newTestServer(t, nil)
 
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	status, body := postJSON(t, ts.URL+"/v1/run", spec)
 	if status != http.StatusOK {
 		t.Fatalf("run: %d %s", status, body)
@@ -89,7 +92,8 @@ func TestMaxInflightBackpressure(t *testing.T) {
 		}
 	})
 	// NOT started: the first job stays queued, pinning active at the cap.
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	first, err := s.submit(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"cobra/internal/exp"
+	"cobra/internal/sim"
 )
 
 // fire posts spec to url and returns the status code (0 on transport
@@ -37,7 +40,8 @@ func TestLoadBackpressureOnlySuccessOr429(t *testing.T) {
 		c.QueueDepth = 4
 	})
 
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Seed: 5, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8, Seed: 5,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	const n = 64
 	codes := make([]int, n)
 	var wg sync.WaitGroup
@@ -93,8 +97,8 @@ func TestDrainDuringLoadSettlesEveryAcceptedJob(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8,
-				Seed: uint64(i % 6), Schemes: []string{"Baseline"}}
+			spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+				Seed: uint64(i % 6), Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 			codes[i] = fire(t, client, ts.URL+"/v1/run", spec)
 		}(i)
 	}

@@ -27,6 +27,7 @@ import (
 	"cobra/internal/mem"
 	"cobra/internal/obsv"
 	"cobra/internal/sim"
+	"cobra/internal/stream"
 )
 
 // Config parameterizes a Server.
@@ -350,7 +351,9 @@ func (s *Server) timeoutFor(spec JobSpec) time.Duration {
 
 // runJob executes one job on the calling worker goroutine: every
 // scheme is one exp cell with panic isolation and a per-cell deadline,
-// and every cell goes through the fingerprint cache.
+// and every cell goes through the fingerprint cache. Streamed jobs run
+// their windows sequentially inside one cell, each window individually
+// cached and checkpointed.
 func (s *Server) runJob(job *Job) {
 	job.setRunning(time.Now())
 	s.reg.Gauge("srv.jobs.inflight").Set(float64(s.inflight.Add(1)))
@@ -364,17 +367,21 @@ func (s *Server) runJob(job *Job) {
 	defer cancel()
 	ctx = exp.WithCellTimeout(ctx, timeout)
 
-	arch := s.cfg.Arch
-	if job.spec.NUCA {
-		arch.Mem.NUCA = mem.DefaultNUCA()
-	}
+	// The canonical knob order (NUCA, then cores) lives in RunSpec.Arch;
+	// the single-core fingerprint pair is precomputed so the hot path
+	// never hashes.
+	arch := job.spec.Arch(s.cfg.Arch)
 	archFP := s.archFP[job.spec.NUCA]
 	if job.spec.Cores > 1 {
 		// Multi-core jobs are the cold path: the sharded arch differs per
 		// core count, so its fingerprint is hashed here instead of being
 		// served from the precomputed single-core pair.
-		arch = arch.WithCores(job.spec.Cores)
 		archFP = exp.ArchFingerprint(arch)
+	}
+
+	if job.spec.Kind == exp.KindStream {
+		s.runStreamJob(ctx, job, arch, archFP)
+		return
 	}
 
 	var hits, misses atomic.Int64
@@ -383,24 +390,14 @@ func (s *Server) runJob(job *Job) {
 	// per-scheme latency attribution exact.
 	results, err := exp.MapCellsCtx(ctx, 1, len(job.schemes), func(ctx context.Context, i int) (sim.Metrics, error) {
 		scheme := job.schemes[i]
-		key := exp.CellKey{
-			Figure: "srv",
-			App:    job.spec.App,
-			Input:  job.spec.Input,
-			Scale:  job.spec.Scale,
-			Seed:   job.spec.Seed,
-			Scheme: string(scheme),
-			Bins:   job.spec.Bins,
-			Cores:  job.spec.Cores,
-			Arch:   archFP,
-		}
-		t := s.reg.Timer("srv.scheme." + string(scheme) + ".wall")
+		key := job.spec.CellKeyFP("srv", scheme, archFP)
+		t := s.reg.Timer("srv.scheme." + scheme.String() + ".wall")
 		m, hit, err := s.cache.getOrRun(key, func() (sim.Metrics, error) {
 			app, err := exp.BuildApp(job.spec.App, job.spec.Input, job.spec.Scale, job.spec.Seed)
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			m, err := exp.RunScheme(app, scheme, job.spec.Bins, arch)
+			m, err := exp.RunScheme(app, scheme.Scheme(), job.spec.Bins, arch)
 			if err != nil {
 				return sim.Metrics{}, err
 			}
@@ -424,6 +421,73 @@ func (s *Server) runJob(job *Job) {
 		}
 		return m, err
 	})
+	if err != nil {
+		s.reg.Counter("srv.jobs.failed").Add(1)
+	} else {
+		s.reg.Counter("srv.jobs.completed").Add(1)
+	}
+	job.finish(results, int(hits.Load()), int(misses.Load()), err, time.Now())
+}
+
+// runStreamJob executes one streamed job: the windowed engine drives
+// the job's single scheme over every window, each window cached and
+// checkpointed individually under CellKey.Window (so a killed server
+// resumes a re-submitted stream at window granularity from its cache
+// journal), and per-window progress lands in the job view and the
+// /metrics registry as windows complete. Results carries the one
+// MergeMetrics fold; JobView.Windows the per-window metrics.
+//
+// Stream windows bypass the cache's single-flight layer: windows of
+// one run are strictly sequential, and concurrent identical stream
+// jobs dedupe through the journal after each window instead.
+func (s *Server) runStreamJob(ctx context.Context, job *Job, arch sim.Arch, archFP string) {
+	scheme := job.schemes[0]
+	base := job.spec.CellKeyFP("srv", scheme, archFP)
+	var hits, misses atomic.Int64
+	t := s.reg.Timer("srv.scheme." + scheme.String() + ".wall")
+	// The whole streamed run is one exp cell: one panic barrier, one
+	// deadline, windows sequential inside.
+	results, err := exp.MapCellsCtx(ctx, 1, 1, func(ctx context.Context, _ int) (sim.Metrics, error) {
+		w, err := job.spec.StreamWorkload()
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		r, err := stream.Run(w, stream.Config{
+			Scheme: scheme.Scheme(),
+			Bins:   job.spec.Bins,
+			Arch:   arch,
+			Ctx:    ctx,
+			Lookup: func(i int) (sim.Metrics, bool) {
+				k := base
+				k.Window = i + 1
+				return s.cache.lookup(k)
+			},
+			Record: func(i int, m sim.Metrics) error {
+				k := base
+				k.Window = i + 1
+				if ferr := fault.Hit(fault.PointSrvComplete); ferr != nil {
+					return ferr
+				}
+				return s.cache.record(k, m)
+			},
+			OnWindow: func(i int, m sim.Metrics, replayed bool) {
+				if replayed {
+					hits.Add(1)
+					s.reg.Counter("srv.stream.windows_replayed").Add(1)
+				} else {
+					misses.Add(1)
+					s.reg.Counter("srv.stream.windows_done").Add(1)
+				}
+				s.reg.Gauge("srv.stream.window").Set(float64(i + 1))
+				job.windowDone(m)
+			},
+		})
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		return r.Merged, nil
+	})
+	t.Stop()
 	if err != nil {
 		s.reg.Counter("srv.jobs.failed").Add(1)
 	} else {

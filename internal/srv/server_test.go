@@ -75,10 +75,10 @@ func postJSON(t *testing.T, url string, spec any) (int, []byte) {
 // cell parameters.
 func TestRunSyncByteIdenticalToDirect(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
-	spec := JobSpec{
+	spec := JobSpec{RunSpec: exp.RunSpec{
 		App: "DegreeCount", Input: "URND", Scale: 10, Seed: 7,
-		Schemes: []string{"Baseline", "PB-SW", "COBRA"}, Bins: 16,
-	}
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline, sim.SchemeIDPBSW, sim.SchemeIDCOBRA}, Bins: 16,
+	}}
 	code, body := postJSON(t, ts.URL+"/v1/run", spec)
 	if code != http.StatusOK {
 		t.Fatalf("POST /v1/run = %d: %s", code, body)
@@ -97,12 +97,8 @@ func TestRunSyncByteIdenticalToDirect(t *testing.T) {
 	}
 	arch := sim.DefaultArch()
 	var direct []sim.Metrics
-	for _, name := range spec.Schemes {
-		scheme, err := exp.ParseScheme(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := exp.RunScheme(app, scheme, spec.Bins, arch)
+	for _, id := range spec.Schemes {
+		m, err := exp.RunScheme(app, id.Scheme(), spec.Bins, arch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +150,8 @@ func TestSubmitValidation(t *testing.T) {
 
 func TestAsyncJobLifecycleAndCacheHit(t *testing.T) {
 	_, ts, reg := newTestServer(t, nil)
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 9, Seed: 3, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 9, Seed: 3,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 
 	code, body := postJSON(t, ts.URL+"/v1/jobs", spec)
 	if code != http.StatusAccepted {
@@ -230,7 +227,8 @@ func TestRuntimeFailureIs500(t *testing.T) {
 	// COBRA-COMM on a non-commutative app passes name validation but
 	// fails at run time (§III-B) — surfaced as a failed job, not a
 	// wedged one.
-	spec := JobSpec{App: "NeighborPopulate", Input: "URND", Scale: 8, Schemes: []string{"COBRA-COMM"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "NeighborPopulate", Input: "URND", Scale: 8,
+		Schemes: []sim.SchemeID{sim.SchemeIDComm}}}
 	code, body := postJSON(t, ts.URL+"/v1/run", spec)
 	if code != http.StatusInternalServerError {
 		t.Fatalf("status = %d: %s", code, body)
@@ -278,7 +276,8 @@ func TestHealthAndReadyFlipOnDrain(t *testing.T) {
 		t.Fatalf("post-drain /healthz = %d, want 200 (liveness outlives readiness)", resp.StatusCode)
 	}
 	// Submissions after drain are 503, not 429 or 200.
-	code, _ := postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "DegreeCount", Input: "URND", Schemes: []string{"Baseline"}})
+	code, _ := postJSON(t, ts.URL+"/v1/jobs", JobSpec{RunSpec: exp.RunSpec{
+		App: "DegreeCount", Input: "URND", Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}})
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit = %d, want 503", code)
 	}
@@ -289,7 +288,8 @@ var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? 
 
 func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8, Seed: 1, Schemes: []string{"Baseline"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8, Seed: 1,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	if code, body := postJSON(t, ts.URL+"/v1/run", spec); code != http.StatusOK {
 		t.Fatalf("run = %d: %s", code, body)
 	}
@@ -337,7 +337,8 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 
 func TestCacheSurvivesRestart(t *testing.T) {
 	cachePath := filepath.Join(t.TempDir(), "cache.jsonl")
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 9, Seed: 11, Schemes: []string{"Baseline", "COBRA"}}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 9, Seed: 11,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline, sim.SchemeIDCOBRA}}}
 
 	run := func(wantHits, wantMisses int) JobView {
 		t.Helper()
@@ -367,8 +368,8 @@ func TestCacheSurvivesRestart(t *testing.T) {
 
 func TestSubmitTimeoutClamped(t *testing.T) {
 	s, _, _ := newTestServer(t, func(c *Config) { c.MaxJobTimeout = 50 * time.Millisecond })
-	spec := JobSpec{App: "DegreeCount", Input: "URND", Scale: 8,
-		Schemes: []string{"Baseline"}, TimeoutMS: 10_000}
+	spec := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND", Scale: 8,
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}, TimeoutMS: 10_000}
 	job, err := s.submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -405,7 +406,8 @@ func TestMethodDiscipline(t *testing.T) {
 
 func TestSpecNormalizeDefaults(t *testing.T) {
 	cfg := Config{DefaultScale: 12}.withDefaults()
-	sp := JobSpec{App: "DegreeCount", Input: "URND", Schemes: []string{"Baseline"}}
+	sp := JobSpec{RunSpec: exp.RunSpec{App: "DegreeCount", Input: "URND",
+		Schemes: []sim.SchemeID{sim.SchemeIDBaseline}}}
 	schemes, err := sp.normalize(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -413,7 +415,7 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 	if sp.Scale != 12 {
 		t.Fatalf("default scale = %d, want 12", sp.Scale)
 	}
-	if len(schemes) != 1 || schemes[0] != sim.SchemeBaseline {
+	if len(schemes) != 1 || schemes[0] != sim.SchemeIDBaseline {
 		t.Fatalf("schemes = %v", schemes)
 	}
 	// Fingerprint equality across NUCA must differ.
